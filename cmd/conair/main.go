@@ -1,0 +1,144 @@
+// Command conair hardens a MIR program with ConAir's rollback-recovery
+// transformation and writes the transformed program.
+//
+// Usage:
+//
+//	conair [-mode survival|fix] [-site func:op:nth] [-o out.mir]
+//	       [-no-opt] [-no-interproc] [-policy extended|basic]
+//	       [-max-retry N] [-lock-timeout N] prog.mir
+//
+// In fix mode, -site names the failing statement as function:opcode:index,
+// e.g. -site "reporter:assert:0" for the first assert in reporter, or
+// "worker:load:2" for its third pointer dereference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"conair/internal/analysis"
+	"conair/internal/core"
+	"conair/internal/mir"
+)
+
+func main() {
+	mode := flag.String("mode", "survival", "survival or fix")
+	site := flag.String("site", "", "fix-mode failure site: func:op:nth (op: assert, output, load, store, lock)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	noOpt := flag.Bool("no-opt", false, "disable the unrecoverable-site pruning (paper §4.2)")
+	noInterproc := flag.Bool("no-interproc", false, "disable inter-procedural recovery (paper §4.3)")
+	policy := flag.String("policy", "extended", "region policy: extended (§4.1) or basic (§3.2)")
+	maxRetry := flag.Int64("max-retry", 0, "recovery retry bound (default one million)")
+	lockTimeout := flag.Int("lock-timeout", 0, "timed-lock timeout in steps")
+	guardOutputs := flag.Bool("guard-outputs", false, "auto-insert output-correctness oracles (paper §3.4)")
+	pruneSafe := flag.Bool("prune-safe-sites", false, "drop provably-safe dereference sites (paper §3.4)")
+	quiet := flag.Bool("q", false, "suppress the report")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: conair [flags] prog.mir")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := mir.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Optimize = !*noOpt
+	opts.Interproc = !*noInterproc
+	switch *policy {
+	case "extended":
+		opts.Policy = mir.PolicyExtended
+	case "basic":
+		opts.Policy = mir.PolicyBasic
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	opts.Transform.MaxRetry = *maxRetry
+	opts.Transform.LockTimeout = *lockTimeout
+	opts.GuardOutputs = *guardOutputs
+	opts.PruneSafeSites = *pruneSafe
+
+	switch *mode {
+	case "survival":
+	case "fix":
+		pos, err := parseSite(m, *site)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Mode = analysis.Fix
+		opts.FixSite = pos
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	h, err := core.Harden(m, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	text := mir.Print(h.Module)
+	if *out == "" {
+		fmt.Print(text)
+	} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		r := &h.Report
+		fmt.Fprintf(os.Stderr,
+			"conair: %s mode, %d failure sites (%d assert, %d wrong-output, %d segfault, %d deadlock)\n",
+			r.Mode, r.Census.Total(), r.Census.Assert, r.Census.WrongOutput,
+			r.Census.Segfault, r.Census.Deadlock)
+		fmt.Fprintf(os.Stderr,
+			"conair: %d reexecution points planted, %d sites with recovery, %d pruned, %d inter-procedural\n",
+			r.StaticReexecPoints, r.RecoverySites, r.PrunedSites, r.InterprocSites)
+		fmt.Fprintf(os.Stderr, "conair: analysis %v, transform %v\n",
+			r.AnalysisTime, r.TransformTime)
+	}
+}
+
+// parseSite resolves "func:op:nth".
+func parseSite(m *mir.Module, s string) (mir.Pos, error) {
+	if s == "" {
+		return mir.Pos{}, fmt.Errorf("fix mode requires -site func:op:nth")
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return mir.Pos{}, fmt.Errorf("bad -site %q: want func:op:nth", s)
+	}
+	var op mir.Op
+	switch parts[1] {
+	case "assert", "oracle":
+		op = mir.OpAssert
+	case "output":
+		op = mir.OpOutput
+	case "load":
+		op = mir.OpLoad
+	case "store":
+		op = mir.OpStore
+	case "lock":
+		op = mir.OpLock
+	default:
+		return mir.Pos{}, fmt.Errorf("bad -site opcode %q", parts[1])
+	}
+	nth, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return mir.Pos{}, fmt.Errorf("bad -site index %q: %v", parts[2], err)
+	}
+	return analysis.FindSite(m, parts[0], op, nth)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conair:", err)
+	os.Exit(2)
+}

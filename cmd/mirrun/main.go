@@ -1,0 +1,84 @@
+// Command mirrun executes a MIR program under the deterministic
+// multi-threaded interpreter.
+//
+// Usage:
+//
+//	mirrun [-seed N] [-sched random|rr] [-quantum N] [-max-steps N] prog.mir
+//
+// The exit status is the program's exit code on completion, or 1 on a
+// detected failure (which is printed to stderr).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "scheduler seed")
+	schedName := flag.String("sched", "random", "scheduler: random or rr")
+	quantum := flag.Int64("quantum", 1, "round-robin quantum (with -sched rr)")
+	maxSteps := flag.Int64("max-steps", 0, "step limit (0 = default)")
+	stats := flag.Bool("stats", false, "print run statistics")
+	trace := flag.Bool("trace", false, "trace every executed instruction to stderr (slow)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mirrun [flags] prog.mir")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := mir.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if m.Main() < 0 {
+		fatal(fmt.Errorf("%s: no main function", flag.Arg(0)))
+	}
+
+	var s sched.Scheduler
+	switch *schedName {
+	case "random":
+		s = sched.NewRandom(*seed)
+	case "rr":
+		s = sched.NewRoundRobin(*quantum, *seed)
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *schedName))
+	}
+
+	cfg := interp.Config{Sched: s, MaxSteps: *maxSteps, CollectOutput: true}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	r := interp.RunModule(m, cfg)
+	for _, o := range r.Output {
+		fmt.Printf("%s: %d\n", o.Text, o.Value)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "steps=%d threads=%d checkpoints=%d rollbacks=%d\n",
+			r.Stats.Steps, r.Stats.ThreadsSpawned, r.Stats.Checkpoints, r.Stats.Rollbacks)
+		for _, e := range r.RecoveredEpisodes() {
+			fmt.Fprintf(os.Stderr, "recovered site %d on thread %d: %d retries, %d steps\n",
+				e.Site, e.Thread, e.Retries, e.Duration())
+		}
+	}
+	if r.Failure != nil {
+		fmt.Fprintln(os.Stderr, r.Failure.Error())
+		os.Exit(1)
+	}
+	os.Exit(int(r.ExitCode & 0x7f))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mirrun:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,127 @@
+// Package conair is a Go reproduction of "ConAir: Featherweight
+// Concurrency Bug Recovery Via Single-Threaded Idempotent Execution"
+// (Zhang, de Kruijf, Li, Lu, Sankaralingam — ASPLOS 2013).
+//
+// ConAir hardens multi-threaded programs so they recover from concurrency
+// -bug failures at run time by rolling back a single thread over an
+// idempotent code region — no memory checkpoints, no multi-thread
+// coordination, no OS or hardware support. This package is the public
+// facade over the full pipeline:
+//
+//   - programs are written in MIR, a small SSA-flavoured IR standing in
+//     for LLVM bitcode (build with NewBuilder, or parse the textual syntax
+//     with Parse);
+//   - Harden runs ConAir's static analyses (failure-site identification,
+//     idempotent-region identification, pruning, inter-procedural
+//     recovery) and rewrites the program with checkpoints and bounded
+//     rollback-recovery code;
+//   - Run executes original or hardened programs on a deterministic
+//     multi-threaded interpreter with seeded scheduling, so buggy
+//     interleavings are forcible and every experiment is repeatable.
+//
+// Quick start:
+//
+//	m := conair.MustParse(src)
+//	hardened, err := conair.Harden(m, conair.SurvivalOptions())
+//	result := conair.Run(hardened.Module, 42)
+//
+// The subpackages expose the full machinery: internal/mir (IR),
+// internal/analysis, internal/transform, internal/interp (the VM),
+// internal/bugs (the paper's 10 benchmark reconstructions),
+// internal/baseline (restart and whole-checkpoint recovery), and
+// internal/experiments (regenerating every table of the evaluation).
+package conair
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// Re-exported core types, so typical use needs only this package.
+type (
+	// Module is a MIR program.
+	Module = mir.Module
+	// Builder constructs modules programmatically.
+	Builder = mir.Builder
+	// Pos addresses one instruction.
+	Pos = mir.Pos
+	// Options configures Harden.
+	Options = core.Options
+	// Hardened is a transformed module plus its report.
+	Hardened = core.Hardened
+	// Report summarizes what hardening did.
+	Report = core.Report
+	// Result is an interpreter run outcome.
+	Result = interp.Result
+	// Failure describes a detected failure.
+	Failure = interp.Failure
+	// Config controls an interpreter run.
+	Config = interp.Config
+	// Scheduler decides thread interleaving.
+	Scheduler = sched.Scheduler
+)
+
+// Parse reads a module from the textual MIR syntax.
+func Parse(src string) (*Module, error) { return mir.Parse(src) }
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) *Module { return mir.MustParse(src) }
+
+// Print renders a module in textual MIR syntax.
+func Print(m *Module) string { return mir.Print(m) }
+
+// NewBuilder starts a programmatic module definition.
+func NewBuilder(name string) *Builder { return mir.NewBuilder(name) }
+
+// SurvivalOptions is the paper's evaluated configuration in survival mode:
+// extended (§4.1) regions, §4.2 optimization and §4.3 inter-procedural
+// recovery enabled.
+func SurvivalOptions() Options { return core.DefaultOptions() }
+
+// FixOptions configures fix mode for one known failure site.
+func FixOptions(site Pos) Options { return core.FixOptions(site) }
+
+// Harden runs the full ConAir pipeline and returns the hardened module
+// with its report. The input module is not modified.
+func Harden(m *Module, opts Options) (*Hardened, error) {
+	return core.Harden(m, opts)
+}
+
+// HardenSurvival hardens with the default survival configuration.
+func HardenSurvival(m *Module) (*Hardened, error) {
+	return core.Harden(m, core.DefaultOptions())
+}
+
+// FindSite locates a failure site by function name plus the nth
+// occurrence of an instruction kind — how fix-mode users name the failing
+// statement. Use with the op constants re-exported below.
+func FindSite(m *Module, funcName string, op mir.Op, nth int) (Pos, error) {
+	return analysis.FindSite(m, funcName, op, nth)
+}
+
+// Failure-site instruction kinds for FindSite.
+const (
+	OpAssert = mir.OpAssert
+	OpOutput = mir.OpOutput
+	OpLoad   = mir.OpLoad
+	OpStore  = mir.OpStore
+	OpLock   = mir.OpLock
+)
+
+// Run executes the module under a seeded random scheduler and collects
+// program output. Identical (module, seed) pairs give identical runs.
+func Run(m *Module, seed int64) *Result {
+	return interp.RunModule(m, Config{
+		Sched:         sched.NewRandom(seed),
+		CollectOutput: true,
+	})
+}
+
+// RunWith executes the module under an explicit interpreter config.
+func RunWith(m *Module, cfg Config) *Result { return interp.RunModule(m, cfg) }
+
+// NewRandomScheduler returns the seeded scheduler Run uses.
+func NewRandomScheduler(seed int64) Scheduler { return sched.NewRandom(seed) }

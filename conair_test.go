@@ -1,0 +1,92 @@
+package conair
+
+import (
+	"testing"
+
+	"conair/internal/mir"
+)
+
+const racySrc = `
+global flag = 0
+
+func reader() {
+entry:
+  %v = loadg @flag
+  assert %v, "flag read before initialization"
+  ret
+}
+
+func main() {
+entry:
+  %t = spawn reader()
+  sleep 200
+  storeg @flag, 1
+  join %t
+  ret 0
+}
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	m, err := Parse(racySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(Print(m)); err != nil {
+		t.Fatalf("print/parse round trip: %v", err)
+	}
+
+	// The original program fails under the forced interleaving.
+	if r := Run(m, 1); r.Completed {
+		t.Fatal("original program should fail")
+	}
+
+	// Survival hardening recovers it.
+	h, err := HardenSurvival(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Report.Census.Total() == 0 || h.Report.StaticReexecPoints == 0 {
+		t.Errorf("report looks empty: %+v", h.Report)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		if r := Run(h.Module, seed); !r.Completed {
+			t.Fatalf("seed %d: hardened run failed: %v", seed, r.Failure)
+		}
+	}
+}
+
+func TestPublicAPIFixMode(t *testing.T) {
+	m := MustParse(racySrc)
+	pos, err := FindSite(m, "reader", OpAssert, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Harden(m, FixOptions(pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Report.Census.Total() != 1 {
+		t.Errorf("fix mode census = %d, want 1", h.Report.Census.Total())
+	}
+	if r := Run(h.Module, 3); !r.Completed {
+		t.Fatalf("fix-mode hardened run failed: %v", r.Failure)
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	b := NewBuilder("api")
+	g := b.Global("g", 41)
+	f := b.Func("main")
+	v := f.LoadG("v", g)
+	v1 := f.Bin("v1", mir.BinAdd, v, mir.Imm(1))
+	f.Output("answer", v1)
+	f.Ret(v1)
+	m, err := b.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(m, 1)
+	if !r.Completed || r.ExitCode != 42 || len(r.Output) != 1 {
+		t.Fatalf("builder program run = %+v", r)
+	}
+}

@@ -1,0 +1,113 @@
+package conair_test
+
+import (
+	"fmt"
+
+	"conair"
+)
+
+// Harden a racy program in survival mode and run it under a forced buggy
+// interleaving: the hardened program recovers by rolling the failing
+// thread back over its idempotent region.
+func Example() {
+	src := `
+module demo
+global flag = 0
+
+func reader() {
+entry:
+  %v = loadg @flag
+  assert %v, "flag read before initialization"
+  ret
+}
+
+func main() {
+entry:
+  %t = spawn reader()
+  sleep 100
+  storeg @flag, 1
+  join %t
+  ret 0
+}
+`
+	m := conair.MustParse(src)
+
+	// The original program fails.
+	r := conair.Run(m, 1)
+	fmt.Println("original completed:", r.Completed)
+
+	// The hardened program survives.
+	h, err := conair.HardenSurvival(m)
+	if err != nil {
+		panic(err)
+	}
+	hr := conair.Run(h.Module, 1)
+	fmt.Println("hardened completed:", hr.Completed)
+	fmt.Println("rolled back:", hr.Stats.Rollbacks > 0)
+
+	// Output:
+	// original completed: false
+	// hardened completed: true
+	// rolled back: true
+}
+
+// Fix mode hardens exactly one developer-named failure site.
+func ExampleFindSite() {
+	src := `
+module fixdemo
+global gp = 0
+
+func use() {
+entry:
+  %p = loadg @gp
+  %v = load %p
+  ret %v
+}
+
+func main() {
+entry:
+  %h = alloc 2
+  store %h, 5
+  storeg @gp, %h
+  %r = call use()
+  ret %r
+}
+`
+	m := conair.MustParse(src)
+	site, err := conair.FindSite(m, "use", conair.OpLoad, 0)
+	if err != nil {
+		panic(err)
+	}
+	h, err := conair.Harden(m, conair.FixOptions(site))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sites hardened:", h.Report.Census.Total())
+	fmt.Println("reexecution points:", h.Report.StaticReexecPoints)
+
+	// Output:
+	// sites hardened: 1
+	// reexecution points: 1
+}
+
+// Programs can be built programmatically with the Builder instead of the
+// textual syntax.
+func ExampleNewBuilder() {
+	b := conair.NewBuilder("built")
+	g := b.Global("answer", 42)
+	f := b.Func("main")
+	v := f.LoadG("v", g)
+	f.Output("answer", v)
+	f.Ret(v)
+	m, err := b.Module()
+	if err != nil {
+		panic(err)
+	}
+	r := conair.Run(m, 1)
+	fmt.Println("exit:", r.ExitCode)
+	fmt.Printf("%s = %d\n", r.Output[0].Text, r.Output[0].Value)
+
+	// Output:
+	// exit: 42
+	// answer = 42
+}

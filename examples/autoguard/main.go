@@ -1,0 +1,86 @@
+// Automatic output guards: the §3.4 extension.
+//
+// The paper's wrong-output recovery normally needs a developer-supplied
+// correctness condition (§6.5): without one, a racy read flows silently
+// into the output and ConAir has nothing to check. §3.4 describes the
+// automatic variant — ConAir inserting a validity assertion before every
+// output call (its prototype does this for fputs's NULL check). This
+// example shows the same wrong-output bug three ways:
+//
+//  1. unprotected: completes, silently emitting the uninitialized value;
+//  2. hardened without guards: still emits the wrong value (no condition
+//     to check — the paper's conditional-recovery limitation);
+//  3. hardened with -guard-outputs: the auto-oracle catches the zero,
+//     recovery rolls back, the correct value is emitted.
+//
+// Run with: go run ./examples/autoguard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"conair"
+)
+
+const src = `
+module stats-reporter
+global total = 0
+
+func reporter() {
+entry:
+  %v = loadg @total
+  output "total", %v
+  ret
+}
+
+func aggregate() {
+entry:
+  sleep 200
+  storeg @total, 1234
+  ret
+}
+
+func main() {
+entry:
+  %t = spawn aggregate()
+  %r = spawn reporter()
+  join %r
+  join %t
+  ret 0
+}
+`
+
+func main() {
+	m := conair.MustParse(src)
+
+	show := func(label string, mod *conair.Module) *conair.Result {
+		r := conair.Run(mod, 1)
+		if r.Failure != nil {
+			fmt.Printf("%-28s failed: %v\n", label, r.Failure)
+			return r
+		}
+		fmt.Printf("%-28s output total=%d (rollbacks=%d)\n",
+			label, r.Output[0].Value, r.Stats.Rollbacks)
+		return r
+	}
+
+	show("unprotected:", m)
+
+	plain, err := conair.HardenSurvival(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("hardened, no guards:", plain.Module)
+
+	opts := conair.SurvivalOptions()
+	opts.GuardOutputs = true
+	guarded, err := conair.Harden(m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := show("hardened, -guard-outputs:", guarded.Module)
+	if r.Failure == nil && r.Output[0].Value == 1234 {
+		fmt.Println("\nthe auto-oracle turned a silent wrong output into a recovered one")
+	}
+}

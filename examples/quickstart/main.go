@@ -1,0 +1,95 @@
+// Quickstart: harden a racy program and watch it survive the race.
+//
+// The program has a classic order violation: a reader thread asserts on a
+// flag that an initializer thread sets late. Unprotected, the forced
+// interleaving kills it; after conair.HardenSurvival the reader rolls back
+// over its (automatically identified) idempotent region until the flag is
+// set.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"conair"
+)
+
+const src = `
+module quickstart
+global config = 0
+
+func reader() {
+entry:
+  %v = loadg @config
+  assert %v, "config read before initialization"
+  output "config", %v
+  ret
+}
+
+func main() {
+entry:
+  %t = spawn reader()
+  sleep 300
+  storeg @config, 7
+  join %t
+  ret 0
+}
+`
+
+func main() {
+	m := conair.MustParse(src)
+
+	fmt.Println("--- original program, forced buggy interleaving ---")
+	r := conair.Run(m, 1)
+	if r.Failure != nil {
+		fmt.Println("failed as expected:", r.Failure)
+	} else {
+		fmt.Println("unexpectedly survived (try another seed)")
+	}
+
+	fmt.Println("\n--- hardening with ConAir (survival mode) ---")
+	h, err := conair.HardenSurvival(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := h.Report
+	fmt.Printf("failure sites: %d (assert %d, wrong-output %d, segfault %d, deadlock %d)\n",
+		rep.Census.Total(), rep.Census.Assert, rep.Census.WrongOutput,
+		rep.Census.Segfault, rep.Census.Deadlock)
+	fmt.Printf("reexecution points planted: %d\n", rep.StaticReexecPoints)
+
+	fmt.Println("\n--- hardened program, same interleaving ---")
+	hr := conair.Run(h.Module, 1)
+	if hr.Failure != nil {
+		log.Fatal("hardened program failed: ", hr.Failure)
+	}
+	for _, o := range hr.Output {
+		fmt.Printf("output %s = %d\n", o.Text, o.Value)
+	}
+	fmt.Printf("survived with %d rollback(s) over %d recovery episode(s)\n",
+		hr.Stats.Rollbacks, len(hr.RecoveredEpisodes()))
+	for _, e := range hr.RecoveredEpisodes() {
+		fmt.Printf("  site %d: %d retries, %d interpreter steps\n",
+			e.Site, e.Retries, e.Duration())
+	}
+
+	fmt.Println("\n--- transformed code (excerpt) ---")
+	text := conair.Print(h.Module)
+	fmt.Println(firstLines(text, 24))
+}
+
+func firstLines(s string, n int) string {
+	out, count := "", 0
+	for _, c := range s {
+		out += string(c)
+		if c == '\n' {
+			count++
+			if count == n {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module conair
+
+go 1.24

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"conair/internal/mir"
+)
+
+// Mode selects how failure sites are identified (paper §3.1).
+type Mode uint8
+
+// Modes.
+const (
+	// Survival hardens every statically identified potential failure site.
+	Survival Mode = iota
+	// Fix hardens exactly one developer-named failure site.
+	Fix
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Fix {
+		return "fix"
+	}
+	return "survival"
+}
+
+// Options configures an analysis run.
+type Options struct {
+	Mode Mode
+	// FixSite is the failing statement's position (Fix mode only).
+	FixSite mir.Pos
+	// Policy selects the basic (§3.2) or extended (§4.1) region rules.
+	// The default is PolicyExtended, the paper's evaluated configuration.
+	Policy mir.RegionPolicy
+	// Optimize enables the §4.2 pruning of unrecoverable sites
+	// (default on; Table 6 measures its effect by toggling it).
+	Optimize bool
+	// Interproc enables §4.3 inter-procedural recovery (default on; the
+	// paper notes it dominates analysis time and can be disabled).
+	Interproc bool
+	// InterprocDepth bounds caller levels (default 3).
+	InterprocDepth int
+	// PruneSafeSites skips segmentation-fault sites whose dereference is
+	// statically proven valid (the §3.4 extension); they then carry no
+	// guard and no reexecution point. Off by default, matching the
+	// evaluated prototype.
+	PruneSafeSites bool
+}
+
+// DefaultOptions returns the paper's evaluated configuration.
+func DefaultOptions() Options {
+	return Options{
+		Mode:           Survival,
+		Policy:         mir.PolicyExtended,
+		Optimize:       true,
+		Interproc:      true,
+		InterprocDepth: DefaultInterprocDepth,
+	}
+}
+
+// SiteAnalysis bundles everything the analyses concluded about one site.
+type SiteAnalysis struct {
+	Site      Site
+	Region    Region
+	Slice     Slice
+	Verdict   PruneVerdict
+	Interproc InterprocResult
+	// Points are the site's final reexecution points after the
+	// inter-procedural adjustment; they may live in caller functions.
+	Points []mir.Pos
+}
+
+// Recovers reports whether recovery code is planted for this site.
+func (sa *SiteAnalysis) Recovers() bool {
+	return sa.Site.Recoverable() && !sa.Verdict.Pruned()
+}
+
+// Checkpoint describes one planted reexecution point.
+type Checkpoint struct {
+	// ID is assigned densely from 1 in position order.
+	ID  int
+	Pos mir.Pos
+	// ServesDeadlock / ServesNonDeadlock classify the sites sharing this
+	// point (Table 6 reports optimization effect per class).
+	ServesDeadlock    bool
+	ServesNonDeadlock bool
+	SiteIDs           []int
+}
+
+// Result is a complete analysis of one module.
+type Result struct {
+	Mode   Mode
+	Sites  []SiteAnalysis
+	Census Census
+	// Checkpoints is the deduplicated final set of reexecution points
+	// (multiple failure sites sharing a point get a single checkpoint,
+	// §3.3).
+	Checkpoints []Checkpoint
+	// InterprocSites counts sites selected for inter-procedural recovery.
+	InterprocSites int
+	// PrunedSites counts sites whose recovery was removed by §4.2.
+	PrunedSites int
+	// SafePrunedSites counts dereferences dropped from the census by the
+	// provably-safe prover (Options.PruneSafeSites).
+	SafePrunedSites int
+	// Duration is the wall-clock analysis time (§6.4).
+	Duration time.Duration
+}
+
+// CheckpointAt returns the checkpoint planted at pos, or nil.
+func (r *Result) CheckpointAt(pos mir.Pos) *Checkpoint {
+	for i := range r.Checkpoints {
+		if r.Checkpoints[i].Pos == pos {
+			return &r.Checkpoints[i]
+		}
+	}
+	return nil
+}
+
+// StaticReexecPoints counts planted checkpoints (Table 5 "Static").
+func (r *Result) StaticReexecPoints() int { return len(r.Checkpoints) }
+
+// Analyze runs the full ConAir static analysis over m.
+func Analyze(m *mir.Module, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{Mode: opts.Mode}
+	if opts.InterprocDepth <= 0 {
+		opts.InterprocDepth = DefaultInterprocDepth
+	}
+
+	var sites []Site
+	switch opts.Mode {
+	case Survival:
+		sites = IdentifySurvival(m)
+	case Fix:
+		s, err := IdentifyFix(m, opts.FixSite)
+		if err != nil {
+			return nil, err
+		}
+		sites = []Site{s}
+	default:
+		return nil, fmt.Errorf("analysis: unknown mode %d", opts.Mode)
+	}
+
+	for _, s := range sites {
+		if opts.PruneSafeSites && s.Kind == SiteSegfault && ProvablySafeDeref(m, s.Pos) {
+			res.SafePrunedSites++
+			continue
+		}
+		res.Census.Add(s.Kind)
+		sa := SiteAnalysis{Site: s}
+
+		// §3.2: intra-procedural region and reexecution points.
+		sa.Region = IdentifyRegion(m, s, opts.Policy)
+		// Figure 8 slicing (used by §4.2 and §4.3).
+		sa.Slice = ComputeSlice(m, &sa.Region, nil)
+
+		sa.Points = sa.Region.Points
+
+		// §4.3: inter-procedural recovery, considered before the
+		// optimization pass ("ConAir first conducts intra-procedural
+		// analysis... then inter-procedural... finally optimization,
+		// applied only to intra-procedural sites").
+		if opts.Interproc && s.Recoverable() {
+			sa.Interproc = SelectInterproc(m, s, &sa.Region, &sa.Slice,
+				opts.Policy, opts.InterprocDepth)
+			if sa.Interproc.Selected {
+				// Replace REintra (the entry point of the site's own
+				// function) with the caller-side points.
+				entry := mir.Pos{Fn: s.Pos.Fn, Block: 0, Index: 0}
+				var pts []mir.Pos
+				for _, p := range sa.Points {
+					if p != entry {
+						pts = append(pts, p)
+					}
+				}
+				pts = append(pts, sa.Interproc.Points...)
+				sa.Points = dedupPositions(pts)
+				res.InterprocSites++
+			}
+		}
+
+		// §4.2: pruning, only for sites recovering intra-procedurally.
+		sa.Verdict = KeepSite
+		if !s.Recoverable() {
+			sa.Verdict = PruneNoRecovery
+		} else if opts.Optimize && !sa.Interproc.Selected {
+			sa.Verdict = PruneSite(s, &sa.Region, &sa.Slice)
+			if sa.Verdict.Pruned() {
+				res.PrunedSites++
+			}
+		}
+
+		res.Sites = append(res.Sites, sa)
+	}
+
+	res.Checkpoints = collectCheckpoints(res.Sites)
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// collectCheckpoints dedupes the final reexecution points across sites.
+// Points that serve only §4.2-pruned sites are dropped (the optimization's
+// final step); points serving oracle-less wrong-output sites are kept so
+// survival mode still measures the paper's worst-case overhead.
+func collectCheckpoints(sites []SiteAnalysis) []Checkpoint {
+	type agg struct {
+		deadlock, nondeadlock bool
+		ids                   []int
+	}
+	byPos := map[mir.Pos]*agg{}
+	for i := range sites {
+		sa := &sites[i]
+		switch sa.Verdict {
+		case PruneNoLockInRegion, PruneNoSharedRead:
+			// Recovery removed; its points plant no checkpoints (unless
+			// shared with a surviving site, which the aggregation below
+			// handles naturally by simply not adding them here).
+			continue
+		}
+		for _, p := range sa.Points {
+			a := byPos[p]
+			if a == nil {
+				a = &agg{}
+				byPos[p] = a
+			}
+			if sa.Site.Kind == SiteDeadlock {
+				a.deadlock = true
+			} else {
+				a.nondeadlock = true
+			}
+			a.ids = append(a.ids, sa.Site.ID)
+		}
+	}
+	positions := make([]mir.Pos, 0, len(byPos))
+	for p := range byPos {
+		positions = append(positions, p)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i].Less(positions[j]) })
+	out := make([]Checkpoint, len(positions))
+	for i, p := range positions {
+		a := byPos[p]
+		sort.Ints(a.ids)
+		out[i] = Checkpoint{
+			ID: i + 1, Pos: p,
+			ServesDeadlock: a.deadlock, ServesNonDeadlock: a.nondeadlock,
+			SiteIDs: a.ids,
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"testing"
+
+	"conair/internal/mir"
+	"conair/internal/mirgen"
+)
+
+// Structural properties of the reexecution-region identification (§3.2.2),
+// checked across randomly generated programs and every failure site:
+//
+//  1. every reexecution point is the function entry or sits immediately
+//     after an idempotency-destroying instruction;
+//  2. no region member is idempotency-destroying;
+//  3. the site itself is never a member of its own region;
+//  4. OnlyEntryPoint holds exactly when the point set is {entry}.
+func TestRegionPropertiesOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		m := mirgen.Gen(mirgen.Config{Seed: seed, Funcs: 4, StmtsPerFunc: 16})
+		sites := IdentifySurvival(m)
+		for _, s := range sites {
+			for _, policy := range []mir.RegionPolicy{mir.PolicyBasic, mir.PolicyExtended} {
+				r := IdentifyRegion(m, s, policy)
+				entry := mir.Pos{Fn: s.Pos.Fn, Block: 0, Index: 0}
+				for _, p := range r.Points {
+					if p == entry {
+						continue
+					}
+					if p.Index == 0 {
+						t.Fatalf("seed %d site %v: point %v at block start is not after a destroyer",
+							seed, s.Pos, p)
+					}
+					prev := m.At(mir.Pos{Fn: p.Fn, Block: p.Block, Index: p.Index - 1})
+					if !mir.Destroys(prev, policy) {
+						t.Fatalf("seed %d site %v: point %v not preceded by a destroyer (%v)",
+							seed, s.Pos, p, prev.Op)
+					}
+				}
+				for _, mem := range r.Members {
+					if mir.Destroys(m.At(mem), policy) {
+						t.Fatalf("seed %d site %v: member %v is destroying (%v)",
+							seed, s.Pos, mem, m.At(mem).Op)
+					}
+					if mem == s.Pos {
+						t.Fatalf("seed %d: site %v is a member of its own region", seed, s.Pos)
+					}
+				}
+				wantOnly := len(r.Points) == 1 && r.Points[0] == entry
+				if r.OnlyEntryPoint != wantOnly {
+					t.Fatalf("seed %d site %v: OnlyEntryPoint=%v, points=%v",
+						seed, s.Pos, r.OnlyEntryPoint, r.Points)
+				}
+			}
+		}
+	}
+}
+
+// The slice is always a subset of the region plus the site's block
+// context, and every reported shared read really is a shared read inside
+// the region.
+func TestSlicePropertiesOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		m := mirgen.Gen(mirgen.Config{Seed: seed, Funcs: 3, StmtsPerFunc: 14})
+		for _, s := range IdentifySurvival(m) {
+			r := IdentifyRegion(m, s, mir.PolicyExtended)
+			sl := ComputeSlice(m, &r, nil)
+			members := map[mir.Pos]bool{}
+			for _, p := range r.Members {
+				members[p] = true
+			}
+			for _, p := range sl.SharedReads {
+				if !members[p] {
+					t.Fatalf("seed %d site %v: shared read %v outside region", seed, s.Pos, p)
+				}
+				if !mir.IsSharedRead(m.At(p)) {
+					t.Fatalf("seed %d site %v: %v reported as shared read but is %v",
+						seed, s.Pos, p, m.At(p).Op)
+				}
+			}
+			for _, p := range sl.OnSlice {
+				if !members[p] {
+					t.Fatalf("seed %d site %v: slice position %v outside region", seed, s.Pos, p)
+				}
+			}
+			f := &m.Functions[s.Pos.Fn]
+			for _, reg := range sl.NeededAtEntry {
+				if reg < 0 || reg >= f.NumRegs() {
+					t.Fatalf("seed %d: needed-at-entry register %d out of range", seed, reg)
+				}
+			}
+		}
+	}
+}
+
+// Analyzing a module never mutates it, and analysis is deterministic.
+func TestAnalyzeIsPureOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		m := mirgen.Gen(mirgen.Config{Seed: seed})
+		before := mir.Print(m)
+		r1, err := Analyze(m, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Analyze(m, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mir.Print(m) != before {
+			t.Fatalf("seed %d: Analyze mutated the module", seed)
+		}
+		if len(r1.Checkpoints) != len(r2.Checkpoints) || r1.Census != r2.Census {
+			t.Fatalf("seed %d: analysis not deterministic", seed)
+		}
+		for i := range r1.Checkpoints {
+			if r1.Checkpoints[i].Pos != r2.Checkpoints[i].Pos {
+				t.Fatalf("seed %d: checkpoint positions differ", seed)
+			}
+		}
+	}
+}
+
+// Checkpoint ids are dense and position-sorted; every checkpoint serves at
+// least one site and classifies as deadlock and/or non-deadlock.
+func TestCheckpointCollectionProperties(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		m := mirgen.Gen(mirgen.Config{Seed: seed, StmtsPerFunc: 18})
+		res, err := Analyze(m, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cp := range res.Checkpoints {
+			if cp.ID != i+1 {
+				t.Fatalf("seed %d: checkpoint ids not dense: %d at index %d", seed, cp.ID, i)
+			}
+			if i > 0 && !res.Checkpoints[i-1].Pos.Less(cp.Pos) {
+				t.Fatalf("seed %d: checkpoints not position-sorted", seed)
+			}
+			if len(cp.SiteIDs) == 0 {
+				t.Fatalf("seed %d: checkpoint %d serves no site", seed, cp.ID)
+			}
+			if !cp.ServesDeadlock && !cp.ServesNonDeadlock {
+				t.Fatalf("seed %d: checkpoint %d has no class", seed, cp.ID)
+			}
+		}
+	}
+}

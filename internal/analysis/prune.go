@@ -1,0 +1,98 @@
+package analysis
+
+import "conair/internal/mir"
+
+// PruneVerdict says whether the recovery code at a site survives the
+// optimization pass (paper §4.2) and, when it does not, why.
+type PruneVerdict uint8
+
+// Prune verdicts.
+const (
+	// KeepSite: recovery code stays.
+	KeepSite PruneVerdict = iota
+	// PruneNoLockInRegion: a deadlock site whose reexecution regions
+	// acquire no lock — rolling back releases nothing, so other deadlocked
+	// threads can never make progress (Figure 7a).
+	PruneNoLockInRegion
+	// PruneNoSharedRead: a non-deadlock site whose region contains no
+	// shared read on the site's backward slice — reexecution is guaranteed
+	// to reproduce the same failure (Figure 7c).
+	PruneNoSharedRead
+	// PruneNoRecovery: a wrong-output site without an oracle — there is no
+	// condition to check, so no recovery code exists to keep.
+	PruneNoRecovery
+)
+
+// String names the verdict for reports.
+func (v PruneVerdict) String() string {
+	switch v {
+	case KeepSite:
+		return "keep"
+	case PruneNoLockInRegion:
+		return "pruned(no-lock-in-region)"
+	case PruneNoSharedRead:
+		return "pruned(no-shared-read-on-slice)"
+	case PruneNoRecovery:
+		return "pruned(no-oracle)"
+	}
+	return "pruned(?)"
+}
+
+// Pruned reports whether the verdict removes recovery code.
+func (v PruneVerdict) Pruned() bool { return v != KeepSite }
+
+// PruneSite decides the verdict for one analyzed site:
+//
+//   - deadlock sites need a lock acquisition inside at least one
+//     reexecution region (so the rollback releases a resource, Figure 7b);
+//   - non-deadlock sites need at least one shared read on the backward
+//     slice inside the region (so reexecution can observe a different
+//     value, Figure 7d) — except segmentation-fault sites, whose failing
+//     dereference is itself a read of shared state and which are therefore
+//     never optimizable (§6.2);
+//   - wrong-output sites without an oracle have no recovery code at all.
+func PruneSite(site Site, region *Region, slice *Slice) PruneVerdict {
+	if !site.Recoverable() {
+		return PruneNoRecovery
+	}
+	switch site.Kind {
+	case SiteDeadlock:
+		if !region.HasLockAcquire {
+			return PruneNoLockInRegion
+		}
+	case SiteSegfault:
+		// The dereference re-reads the pointer target on reexecution;
+		// ConAir considers these un-optimizable.
+		return KeepSite
+	default:
+		if !slice.HasSharedRead() {
+			return PruneNoSharedRead
+		}
+	}
+	return KeepSite
+}
+
+// OrphanPoints returns the reexecution points that serve no surviving
+// failure site, given the per-site point lists and verdicts; the
+// transformation skips those checkpoints (§4.2's final step). Points are
+// compared positionally: a point shared between a pruned and a kept site
+// is retained.
+func OrphanPoints(regions []Region, verdicts []PruneVerdict) map[mir.Pos]bool {
+	kept := map[mir.Pos]bool{}
+	all := map[mir.Pos]bool{}
+	for i := range regions {
+		for _, p := range regions[i].Points {
+			all[p] = true
+			if !verdicts[i].Pruned() {
+				kept[p] = true
+			}
+		}
+	}
+	orphans := map[mir.Pos]bool{}
+	for p := range all {
+		if !kept[p] {
+			orphans[p] = true
+		}
+	}
+	return orphans
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"testing"
+
+	"conair/internal/mir"
+)
+
+func derefPos(t *testing.T, m *mir.Module, nth int) mir.Pos {
+	t.Helper()
+	pos, err := FindSite(m, "main", mir.OpLoad, nth)
+	if err != nil {
+		pos, err = FindSite(m, "main", mir.OpStore, nth)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pos
+}
+
+func TestProvablySafeAddrG(t *testing.T) {
+	m := mir.MustParse(`
+global g = 5
+func main() {
+entry:
+  %p = addrg @g
+  %v = load %p
+  ret %v
+}`)
+	if !ProvablySafeDeref(m, derefPos(t, m, 0)) {
+		t.Error("addrg dereference must be provably safe")
+	}
+}
+
+func TestProvablySafeAllocInBounds(t *testing.T) {
+	m := mir.MustParse(`
+func main() {
+entry:
+  %h = alloc 4
+  %p = add %h, 3
+  %v = load %p
+  ret %v
+}`)
+	if !ProvablySafeDeref(m, derefPos(t, m, 0)) {
+		t.Error("in-bounds alloc dereference must be provably safe")
+	}
+}
+
+func TestNotProvableOutOfBounds(t *testing.T) {
+	m := mir.MustParse(`
+func main() {
+entry:
+  %h = alloc 4
+  %p = add %h, 4
+  %v = load %p
+  ret %v
+}`)
+	if ProvablySafeDeref(m, derefPos(t, m, 0)) {
+		t.Error("one-past-the-end must not be provable")
+	}
+}
+
+func TestNotProvableAfterFree(t *testing.T) {
+	m := mir.MustParse(`
+func main() {
+entry:
+  %h = alloc 4
+  free %h
+  %v = load %h
+  ret %v
+}`)
+	if ProvablySafeDeref(m, derefPos(t, m, 0)) {
+		t.Error("use-after-free must not be provable")
+	}
+}
+
+func TestNotProvableFromSharedLoad(t *testing.T) {
+	m := mir.MustParse(`
+global gp = 0
+func main() {
+entry:
+  %p = loadg @gp
+  %v = load %p
+  ret %v
+}`)
+	if ProvablySafeDeref(m, derefPos(t, m, 0)) {
+		t.Error("pointer loaded from shared memory must not be provable")
+	}
+}
+
+func TestNotProvableCrossBlock(t *testing.T) {
+	m := mir.MustParse(`
+global g = 0
+func main() {
+entry:
+  %p = addrg @g
+  jmp next
+next:
+  %v = load %p
+  ret %v
+}`)
+	if ProvablySafeDeref(m, derefPos(t, m, 0)) {
+		t.Error("cross-block definitions are out of scope for the prover")
+	}
+}
+
+func TestNotProvableAfterRedefinition(t *testing.T) {
+	m := mir.MustParse(`
+global g = 0
+global gp = 0
+func main() {
+entry:
+  %p = addrg @g
+  %p = loadg @gp
+  %v = load %p
+  ret %v
+}`)
+	if ProvablySafeDeref(m, derefPos(t, m, 0)) {
+		t.Error("the most recent definition (a shared load) must win")
+	}
+}
+
+func TestNotProvableGlobalWithOffset(t *testing.T) {
+	m := mir.MustParse(`
+global g = 0
+func main() {
+entry:
+  %p = addrg @g
+  %q = add %p, 1
+  %v = load %q
+  ret %v
+}`)
+	if ProvablySafeDeref(m, derefPos(t, m, 0)) {
+		t.Error("globals are single cells; offsets must not be provable")
+	}
+}
+
+func TestAnalyzeWithSafePruning(t *testing.T) {
+	m := mir.MustParse(`
+global g = 5
+global gp = 0
+func main() {
+entry:
+  %safe = addrg @g
+  %a = load %safe
+  %unsafe = loadg @gp
+  %b = load %unsafe
+  ret %b
+}`)
+	opts := DefaultOptions()
+	opts.PruneSafeSites = true
+	res, err := Analyze(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafePrunedSites != 1 {
+		t.Errorf("safe-pruned = %d, want 1", res.SafePrunedSites)
+	}
+	if res.Census.Segfault != 1 {
+		t.Errorf("census segfault = %d, want only the unprovable one", res.Census.Segfault)
+	}
+
+	// Default configuration keeps both (the evaluated prototype).
+	res2, err := Analyze(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Census.Segfault != 2 || res2.SafePrunedSites != 0 {
+		t.Errorf("default config should keep both sites: %+v", res2.Census)
+	}
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"sort"
+
+	"conair/internal/mir"
+)
+
+// Slice is the result of ConAir's simplified intra-procedural backward
+// slicing for one failure site (paper §4.2, Figure 8). The slice is
+// computed only over the site's reexecution region: because region members
+// only write virtual registers, data dependence never has to be traced
+// through memory — when a needed register is defined by a read of a
+// non-register location (a stack slot), tracking simply stops, and a read
+// of a global or of the heap is exactly the kind of shared read whose
+// reexecution can change the failure outcome.
+type Slice struct {
+	// SharedReads are the in-region global/heap read positions on the
+	// slice. A non-deadlock site with no shared read in any region is
+	// statically unrecoverable (§4.2).
+	SharedReads []mir.Pos
+	// OnSlice is every region member on the slice (data dependence plus
+	// the conservative control-dependence approximation: in-region
+	// branches are always on the slice).
+	OnSlice []mir.Pos
+	// NeededAtEntry holds the register indices still needed (and not yet
+	// defined) when the slice reaches the entry point of the function.
+	// A parameter register here is a "critical parameter" for
+	// inter-procedural recovery (§4.3).
+	NeededAtEntry []int
+}
+
+// HasSharedRead reports a shared read on the slice within the region.
+func (s *Slice) HasSharedRead() bool { return len(s.SharedReads) > 0 }
+
+// CriticalParams filters NeededAtEntry down to parameter registers of f.
+func (s *Slice) CriticalParams(f *mir.Function) []int {
+	var out []int
+	for _, r := range s.NeededAtEntry {
+		if r < f.NumParams {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// regSet is a small register-index set.
+type regSet map[int]bool
+
+func (s regSet) clone() regSet {
+	c := make(regSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s regSet) addAll(o regSet) bool {
+	changed := false
+	for k := range o {
+		if !s[k] {
+			s[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ComputeSlice runs the backward slice for the site of region r, seeded by
+// seedRegs (defaults to the registers the site instruction uses when nil).
+//
+// The dataflow runs at instruction granularity over the region sub-graph:
+// need(p) is the set of registers needed immediately BEFORE executing the
+// instruction at p. Transfer for an instruction d defining register x with
+// uses U:
+//
+//	on slice  ⇔ x ∈ need-after, or the instruction is an in-region branch
+//	need-before = need-after  \ {x}  ∪ U     (if on slice and tracking)
+//	need-before = need-after  \ {x}          (if on slice but the def reads
+//	                                          a stack slot: tracking stops,
+//	                                          per Figure 8)
+//
+// Shared reads (loadg, load) on the slice are recorded; their uses (the
+// address registers) remain tracked, following pointer chains backward.
+func ComputeSlice(m *mir.Module, r *Region, seedRegs []int) Slice {
+	f := &m.Functions[r.Site.Pos.Fn]
+	members := r.memberSet()
+
+	// need[pos] = registers needed before executing pos.
+	need := map[mir.Pos]regSet{}
+	onSlice := map[mir.Pos]bool{}
+	sharedReads := map[mir.Pos]bool{}
+
+	seed := regSet{}
+	if seedRegs == nil {
+		site := m.At(r.Site.Pos)
+		for _, u := range site.Uses(nil) {
+			seed[u] = true
+		}
+	} else {
+		for _, u := range seedRegs {
+			seed[u] = true
+		}
+	}
+
+	// Region-successor need: for a member position p, the need-after set
+	// is the union of need(q) over the positions q that execute right
+	// after p and are in the region (or are the site itself).
+	siteNeed := seed
+
+	needAfter := func(p mir.Pos) regSet {
+		out := regSet{}
+		blk := &f.Blocks[p.Block]
+		collect := func(q mir.Pos) {
+			if q == r.Site.Pos {
+				out.addAll(siteNeed)
+				return
+			}
+			if members[q] {
+				out.addAll(need[q])
+			}
+		}
+		if p.Index+1 < len(blk.Instrs) {
+			collect(mir.Pos{Fn: p.Fn, Block: p.Block, Index: p.Index + 1})
+			return out
+		}
+		return out
+	}
+
+	// Iterate to fixpoint. Regions are small, so a simple round-robin
+	// sweep in reverse position order converges quickly.
+	ordered := append([]mir.Pos(nil), r.Members...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[j].Less(ordered[i]) })
+
+	for changed := true; changed; {
+		changed = false
+		for _, p := range ordered {
+			in := m.At(p)
+			var after regSet
+			if in.Op.IsTerminator() {
+				// Successors are the first positions of successor blocks.
+				after = regSet{}
+				switch in.Op {
+				case mir.OpBr:
+					for _, nb := range []int{in.Then, in.Else} {
+						q := mir.Pos{Fn: p.Fn, Block: nb, Index: 0}
+						if q == r.Site.Pos {
+							after.addAll(siteNeed)
+						} else if members[q] {
+							after.addAll(need[q])
+						}
+					}
+				case mir.OpJmp:
+					q := mir.Pos{Fn: p.Fn, Block: in.Then, Index: 0}
+					if q == r.Site.Pos {
+						after.addAll(siteNeed)
+					} else if members[q] {
+						after.addAll(need[q])
+					}
+				}
+			} else {
+				after = needAfter(p)
+			}
+
+			before := after.clone()
+			sliced := false
+			if in.HasDst() && after[in.Dst] {
+				sliced = true
+				delete(before, in.Dst)
+				switch in.Op {
+				case mir.OpLoadS:
+					// Definition reads a non-register location: stop
+					// tracking this chain (Figure 8).
+				case mir.OpLoadG, mir.OpLoad:
+					sharedReads[p] = true
+					for _, u := range in.Uses(nil) {
+						before[u] = true
+					}
+				default:
+					for _, u := range in.Uses(nil) {
+						before[u] = true
+					}
+				}
+			}
+			if in.Op == mir.OpBr {
+				// Conservative control dependence: in-region branches can
+				// steer execution to the site, so their conditions are
+				// always needed.
+				sliced = true
+				for _, u := range in.Uses(nil) {
+					before[u] = true
+				}
+			}
+			if sliced && !onSlice[p] {
+				onSlice[p] = true
+				changed = true
+			}
+			old := need[p]
+			if old == nil {
+				need[p] = before
+				if len(before) > 0 {
+					changed = true
+				}
+			} else if old.addAll(before) {
+				changed = true
+			}
+		}
+	}
+
+	var sl Slice
+	sl.SharedReads = sortedPositions(sharedReads)
+	sl.OnSlice = sortedPositions(onSlice)
+
+	// Registers needed at the entry point: the need set right before the
+	// first region instruction of the entry block — i.e. need at position
+	// (fn, 0, 0) if it is a member, or the site's own seed when the site
+	// sits at the very top of the function.
+	entryPos := mir.Pos{Fn: r.Site.Pos.Fn, Block: 0, Index: 0}
+	var entryNeed regSet
+	switch {
+	case entryPos == r.Site.Pos:
+		entryNeed = siteNeed
+	case members[entryPos]:
+		entryNeed = need[entryPos]
+	}
+	for reg := range entryNeed {
+		sl.NeededAtEntry = append(sl.NeededAtEntry, reg)
+	}
+	sort.Ints(sl.NeededAtEntry)
+	return sl
+}

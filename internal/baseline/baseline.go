@@ -1,0 +1,213 @@
+// Package baseline implements the traditional recovery techniques ConAir
+// is compared against:
+//
+//   - whole-program RESTART (Table 7's comparison column): when the
+//     program fails, run it again from the beginning;
+//   - whole-program CHECKPOINT/ROLLBACK (the Rx/ASSURE/Frost family the
+//     introduction discusses, and the right-hand end of Figure 4's
+//     reexecution-region design spectrum): periodically snapshot the
+//     entire memory state of all threads, and on failure restore the
+//     latest snapshot and reexecute with perturbed timing.
+//
+// Both run on the same interpreter as ConAir, so costs are directly
+// comparable: restart pays the whole execution again; checkpointing pays a
+// copy of the whole mutable state every interval (charged in virtual steps
+// at a configurable words-per-step rate, since copying state is not free
+// on any real system) plus multi-thread rollback on failure; ConAir pays a
+// register-image save per reexecution point and rolls back one thread.
+package baseline
+
+import (
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// RestartResult reports a restart-recovery measurement.
+type RestartResult struct {
+	// StepsToFailure is the forced run's cost until the failure was
+	// detected (work lost by restarting).
+	StepsToFailure int64
+	// RerunSteps is the cost of the full fresh execution.
+	RerunSteps int64
+	// TotalSteps is the end-to-end cost of recovering by restart.
+	TotalSteps int64
+	// Recovered reports that the rerun completed.
+	Recovered bool
+}
+
+// Restart measures recovery-by-restart: run the failing program until it
+// fails, then run the clean program from scratch (the restarted execution,
+// in which the non-deterministic interleaving does not recur). Seeds make
+// the measurement reproducible.
+func Restart(failing, clean *mir.Module, seed int64, maxSteps int64) RestartResult {
+	var out RestartResult
+	r1 := interp.RunModule(failing, interp.Config{
+		Sched: sched.NewRandom(seed), MaxSteps: maxSteps,
+	})
+	out.StepsToFailure = r1.Stats.Steps
+	r2 := interp.RunModule(clean, interp.Config{
+		Sched: sched.NewRandom(seed + 1), MaxSteps: maxSteps,
+	})
+	out.RerunSteps = r2.Stats.Steps
+	out.TotalSteps = out.StepsToFailure + out.RerunSteps
+	out.Recovered = r2.Completed
+	return out
+}
+
+// CheckpointConfig tunes the whole-program checkpoint/rollback baseline.
+type CheckpointConfig struct {
+	// Interval is the distance between snapshots in steps.
+	Interval int64
+	// CostWordsPerStep converts copied state words into charged virtual
+	// steps (higher = cheaper checkpoints). Default 8.
+	CostWordsPerStep int64
+	// KeepSnapshots is how many recent snapshots are retained; repeated
+	// failures restore progressively older ones (escaping states that
+	// already committed to the failure). Default 4.
+	KeepSnapshots int
+	// MaxRecoveries bounds rollback attempts. Default 64.
+	MaxRecoveries int
+	// PerturbBound is the maximum timing perturbation injected into the
+	// failing thread after a rollback (Rx-style environment change).
+	// Default 512 steps.
+	PerturbBound int64
+	// Seed drives the scheduler and perturbation.
+	Seed int64
+	// MaxSteps bounds the whole attempt.
+	MaxSteps int64
+}
+
+func (c *CheckpointConfig) withDefaults() CheckpointConfig {
+	out := *c
+	if out.Interval <= 0 {
+		out.Interval = 10_000
+	}
+	if out.CostWordsPerStep <= 0 {
+		out.CostWordsPerStep = 8
+	}
+	if out.KeepSnapshots <= 0 {
+		out.KeepSnapshots = 4
+	}
+	if out.MaxRecoveries <= 0 {
+		out.MaxRecoveries = 64
+	}
+	if out.PerturbBound <= 0 {
+		out.PerturbBound = 512
+	}
+	if out.MaxSteps <= 0 {
+		out.MaxSteps = 50_000_000
+	}
+	return out
+}
+
+// CheckpointResult reports a whole-program checkpoint/rollback run.
+type CheckpointResult struct {
+	// Completed reports eventual success.
+	Completed bool
+	// Steps is the total virtual time, including charged checkpoint cost.
+	Steps int64
+	// Snapshots is how many whole-state snapshots were taken.
+	Snapshots int64
+	// SnapshotStepCost is the virtual time charged for copying state.
+	SnapshotStepCost int64
+	// Rollbacks is how many failures were recovered by restoring.
+	Rollbacks int64
+	// RecoverySteps is the virtual time between the first failure and
+	// final success (0 when no failure occurred).
+	RecoverySteps int64
+}
+
+// RunCheckpointed executes m under the whole-program checkpoint/rollback
+// baseline.
+func RunCheckpointed(m *mir.Module, cfg CheckpointConfig) CheckpointResult {
+	cfg = cfg.withDefaults()
+	var out CheckpointResult
+
+	sch := sched.NewRandom(cfg.Seed)
+	vm := interp.New(m, interp.Config{Sched: sch, MaxSteps: cfg.MaxSteps})
+
+	var snaps []*interp.Snapshot
+	take := func() {
+		s := vm.TakeSnapshot()
+		out.Snapshots++
+		cost := s.Words / cfg.CostWordsPerStep
+		if cost < 1 {
+			cost = 1
+		}
+		vm.AdvanceSteps(cost)
+		out.SnapshotStepCost += cost
+		snaps = append(snaps, s)
+		if len(snaps) > cfg.KeepSnapshots {
+			// Keep the initial snapshot forever: it is the only state
+			// guaranteed to predate whatever committed to the failure;
+			// rotate the rest.
+			snaps = append(snaps[:1], snaps[2:]...)
+		}
+	}
+
+	take() // initial checkpoint, so rollback is always possible
+	nextAt := vm.Steps() + cfg.Interval
+	recoveries := 0
+	var firstFailureStep int64 = -1
+
+	// A perturbation may target a thread that does not exist yet after the
+	// rollback (the snapshot can predate its spawn); keep it pending and
+	// apply it once the thread is runnable.
+	pendTID, pendDelay := -1, int64(0)
+
+	for {
+		if pendTID >= 0 && vm.PerturbThread(pendTID, pendDelay) {
+			pendTID = -1
+		}
+		if !vm.StepOnce() {
+			f := vm.CurrentFailure()
+			if f == nil {
+				break // completed
+			}
+			if recoveries >= cfg.MaxRecoveries || len(snaps) == 0 {
+				break // give up: report the failure
+			}
+			if firstFailureStep < 0 {
+				firstFailureStep = f.Step
+			}
+			// Restore: first retries use the newest snapshot; repeated
+			// failures walk back to older ones.
+			idx := len(snaps) - 1 - (recoveries % len(snaps))
+			snap := snaps[idx]
+			// Rx-style timing perturbation so the reexecution diverges.
+			// A hang implicates no single thread, so perturb a random
+			// participant.
+			failTID := f.Thread
+			if failTID < 0 {
+				failTID = sch.Intn(max(vm.NumThreads(), 1))
+			}
+			vm.RestoreSnapshot(snap)
+			// Restoring state costs a copy too.
+			cost := snap.Words / cfg.CostWordsPerStep
+			if cost < 1 {
+				cost = 1
+			}
+			vm.AdvanceSteps(cost)
+			out.SnapshotStepCost += cost
+			pendTID = failTID
+			pendDelay = 1 + int64(sch.Intn(int(cfg.PerturbBound)))
+			recoveries++
+			out.Rollbacks++
+			nextAt = vm.Steps() + cfg.Interval
+			continue
+		}
+		if vm.Steps() >= nextAt {
+			take()
+			nextAt = vm.Steps() + cfg.Interval
+		}
+	}
+
+	res := vm.Finish()
+	out.Completed = res.Completed
+	out.Steps = vm.Steps()
+	if firstFailureStep >= 0 && out.Completed {
+		out.RecoverySteps = out.Steps - firstFailureStep
+	}
+	return out
+}

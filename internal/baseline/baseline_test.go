@@ -1,0 +1,180 @@
+package baseline
+
+import (
+	"testing"
+
+	"conair/internal/bugs"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+func TestRestartRecoversForcedBug(t *testing.T) {
+	b := bugs.ByName("ZSNES")
+	failing := b.Program(bugs.Config{Light: true, ForceBug: true})
+	clean := b.Program(bugs.Config{Light: true})
+	r := Restart(failing, clean, 3, 5_000_000)
+	if !r.Recovered {
+		t.Fatal("restart rerun should complete")
+	}
+	if r.StepsToFailure <= 0 || r.RerunSteps <= 0 {
+		t.Errorf("degenerate measurement: %+v", r)
+	}
+	if r.TotalSteps != r.StepsToFailure+r.RerunSteps {
+		t.Errorf("total mismatch: %+v", r)
+	}
+}
+
+func TestCheckpointBaselineCompletesCleanRun(t *testing.T) {
+	src := `
+global g = 0
+func main() {
+entry:
+  %i = const 0
+  jmp loop
+loop:
+  %v = loadg @g
+  %v1 = add %v, 1
+  storeg @g, %v1
+  %i1 = add %i, 1
+  %i = add %i1, 0
+  %c = lt %i, 2000
+  br %c, loop, out
+out:
+  %r = loadg @g
+  ret %r
+}`
+	m := mir.MustParse(src)
+	r := RunCheckpointed(m, CheckpointConfig{Interval: 1000, Seed: 1})
+	if !r.Completed {
+		t.Fatal("clean run should complete under the checkpoint baseline")
+	}
+	if r.Snapshots < 2 {
+		t.Errorf("snapshots = %d, want several", r.Snapshots)
+	}
+	if r.SnapshotStepCost <= 0 {
+		t.Error("snapshot cost should be charged")
+	}
+	if r.Rollbacks != 0 {
+		t.Errorf("clean run rolled back %d times", r.Rollbacks)
+	}
+	// Overhead must grow as the interval shrinks (Figure 4's trade-off).
+	r2 := RunCheckpointed(m, CheckpointConfig{Interval: 100, Seed: 1})
+	if r2.SnapshotStepCost <= r.SnapshotStepCost {
+		t.Errorf("denser checkpoints should cost more: %d vs %d",
+			r2.SnapshotStepCost, r.SnapshotStepCost)
+	}
+}
+
+func TestCheckpointBaselineRecoversOrderViolation(t *testing.T) {
+	// An order violation the baseline can survive: the failing thread
+	// read too early; after rollback + perturbation the initializer wins
+	// the race.
+	src := `
+global flag = 0
+func reader() {
+entry:
+  %v = loadg @flag
+  assert %v, "read too early"
+  ret
+}
+func initf() {
+entry:
+  sleep 400
+  storeg @flag, 1
+  ret
+}
+func main() {
+entry:
+  %ti = spawn initf()
+  %tr = spawn reader()
+  join %tr
+  join %ti
+  ret 0
+}`
+	m := mir.MustParse(src)
+	// Unprotected, it fails.
+	plain := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1)})
+	if plain.Completed {
+		t.Fatal("unprotected run should fail")
+	}
+	r := RunCheckpointed(m, CheckpointConfig{Interval: 50, Seed: 1, PerturbBound: 600})
+	if !r.Completed {
+		t.Fatalf("checkpoint baseline failed to recover: %+v", r)
+	}
+	if r.Rollbacks == 0 {
+		t.Error("expected at least one rollback")
+	}
+	if r.RecoverySteps <= 0 {
+		t.Errorf("recovery steps = %d, want > 0", r.RecoverySteps)
+	}
+}
+
+func TestCheckpointBaselineRecoversDeadlock(t *testing.T) {
+	b := bugs.ByName("SQLite")
+	m := b.Program(bugs.Config{Light: true, ForceBug: true})
+	r := RunCheckpointed(m, CheckpointConfig{
+		Interval: 400, Seed: 2, PerturbBound: 800, MaxSteps: 10_000_000,
+	})
+	if !r.Completed {
+		t.Fatalf("checkpoint baseline failed on deadlock: %+v", r)
+	}
+	if r.Rollbacks == 0 {
+		t.Error("deadlock recovery requires rollbacks")
+	}
+}
+
+func TestCheckpointGivesUpAfterMaxRecoveries(t *testing.T) {
+	// A deterministic failure: no perturbation can help.
+	src := `
+func main() {
+entry:
+  %z = const 0
+  assert %z, "always fails"
+  ret
+}`
+	m := mir.MustParse(src)
+	r := RunCheckpointed(m, CheckpointConfig{Interval: 10, MaxRecoveries: 3, Seed: 1})
+	if r.Completed {
+		t.Fatal("deterministic failure must not be recoverable")
+	}
+	if r.Rollbacks != 3 {
+		t.Errorf("rollbacks = %d, want 3", r.Rollbacks)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := `
+global g = 1
+func main() {
+entry:
+  storeg @g, 2
+  %h = alloc 4
+  store %h, 42
+  storeg @g, 3
+  %v = load %h
+  ret %v
+}`
+	m := mir.MustParse(src)
+	vm := interp.New(m, interp.Config{Sched: sched.NewRandom(1)})
+	// Run two steps, snapshot, run to completion, restore, rerun.
+	vm.StepOnce()
+	vm.StepOnce()
+	snap := vm.TakeSnapshot()
+	if snap.Words <= 0 {
+		t.Error("snapshot should report copied words")
+	}
+	for vm.StepOnce() {
+	}
+	first := vm.Finish()
+	if !first.Completed || first.ExitCode != 42 {
+		t.Fatalf("first finish: %+v", first)
+	}
+	vm.RestoreSnapshot(snap)
+	for vm.StepOnce() {
+	}
+	second := vm.Finish()
+	if !second.Completed || second.ExitCode != 42 {
+		t.Fatalf("replay after restore: %+v", second)
+	}
+}

@@ -1,0 +1,140 @@
+// Package bugs reconstructs the 10 real-world concurrency bugs of the
+// ConAir evaluation (paper Table 2) as MIR programs.
+//
+// Each reconstruction reproduces the published root-cause pattern, failure
+// symptom, calling structure and recovery mechanism of its bug —
+// Figure 9 (FFT), Figure 10 (MozillaXP), Figure 11 (HawkNL) give three of
+// the shapes explicitly — embedded in a synthetic workload sized so the
+// static failure-site census matches the app's Table 4 row and the dynamic
+// behaviour (reexecution-point executions, recovery retries, restart cost)
+// reproduces the paper's ordering. Workloads are scaled down ~10x from the
+// paper's dynamic counts so a full experiment sweep runs in seconds; the
+// scale factor is uniform, preserving every relative comparison.
+//
+// A Bug builds two program variants:
+//
+//   - ForceBug: sleeps are inserted into the buggy code regions so the
+//     failure-inducing interleaving occurs with ~100% probability — the
+//     paper's evaluation methodology (§5);
+//   - !ForceBug: the same program with the timing reversed so the bug
+//     never manifests, used for overhead measurement ("no sleep is
+//     inserted and software never fails during the run-time overhead
+//     measurement").
+package bugs
+
+import (
+	"fmt"
+
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// Config selects the program variant.
+type Config struct {
+	// ForceBug inserts the failure-forcing sleeps.
+	ForceBug bool
+	// Light shrinks the hot workload by ~20x. Recovery behaviour (root
+	// cause, retries, episode length) is independent of workload volume,
+	// so the 1000-run recovery experiments use Light programs; overhead
+	// and restart measurements use the full workload.
+	Light bool
+	// Scale additionally multiplies hot-loop iterations (0 = 1); used by
+	// benchmarks that sweep workload size.
+	Scale int
+	// NoOracle omits the developer output-correctness annotation from the
+	// wrong-output bugs (FFT, MySQL1). Without it the buggy run completes
+	// while emitting a wrong output and ConAir cannot recover — Table 3's
+	// "conditionally recovered" distinction (§6.5).
+	NoOracle bool
+}
+
+// PaperNumbers holds the figures the paper reports for one app, for
+// side-by-side comparison in EXPERIMENTS.md.
+type PaperNumbers struct {
+	// Table 2.
+	LOC string
+	// Table 4 (static failure sites hardened).
+	Sites analysis.Census
+	// Table 5 (survival mode reexecution points).
+	ReexecStatic, ReexecDynamic int
+	// Table 3 (survival-mode overhead, %).
+	OverheadPct float64
+	// Table 7.
+	RecoveryMicros int64
+	Retries        int64
+	RestartMicros  int64
+}
+
+// Bug is one reconstructed benchmark.
+type Bug struct {
+	// Name matches the paper's app name (MySQL1, HawkNL, ...).
+	Name string
+	// AppType is Table 2's application-type column.
+	AppType string
+	// RootCause is Table 2's cause column (e.g. "A Vio.", "O Vio.",
+	// "deadlock").
+	RootCause string
+	// Symptom is Table 2's failure column.
+	Symptom mir.FailKind
+	// NeedsOracle marks the two wrong-output bugs (FFT, MySQL1) that are
+	// only conditionally recoverable: recovery requires the developer
+	// output-correctness annotation (Table 3's "Xc").
+	NeedsOracle bool
+	// NeedsInterproc marks the two bugs requiring inter-procedural
+	// reexecution (MozillaXP, Transmission; §6.1.1).
+	NeedsInterproc bool
+	// Paper holds the published numbers.
+	Paper PaperNumbers
+
+	// FixFunc/FixOp/FixNth name the failure site for fix mode: the Nth
+	// instruction of the given opcode in the named function.
+	FixFunc string
+	FixOp   mir.Op
+	FixNth  int
+
+	// build constructs the program.
+	build func(cfg Config) *mir.Module
+}
+
+// Program builds the bug's MIR program.
+func (b *Bug) Program(cfg Config) *mir.Module { return b.build(cfg) }
+
+// FixSite locates the fix-mode failure site in a built program.
+func (b *Bug) FixSite(m *mir.Module) (mir.Pos, error) {
+	return analysis.FindSite(m, b.FixFunc, b.FixOp, b.FixNth)
+}
+
+// registry is populated by the per-app files' init functions in a fixed
+// order (the paper's table order).
+var registry []*Bug
+
+func register(b *Bug) {
+	registry = append(registry, b)
+}
+
+// All returns the 10 bugs in the paper's table order.
+func All() []*Bug {
+	ordered := []string{
+		"FFT", "HawkNL", "HTTrack", "MozillaXP", "MozillaJS",
+		"MySQL1", "MySQL2", "SQLite", "Transmission", "ZSNES",
+	}
+	out := make([]*Bug, 0, len(ordered))
+	for _, name := range ordered {
+		b := ByName(name)
+		if b == nil {
+			panic(fmt.Sprintf("bugs: %s not registered", name))
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// ByName returns the named bug, or nil.
+func ByName(name string) *Bug {
+	for _, b := range registry {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

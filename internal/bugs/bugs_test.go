@@ -1,0 +1,256 @@
+package bugs
+
+import (
+	"testing"
+
+	"conair/internal/analysis"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+	"conair/internal/transform"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("registered %d bugs, want 10", len(all))
+	}
+	names := map[string]bool{}
+	for _, b := range all {
+		if names[b.Name] {
+			t.Errorf("duplicate bug %s", b.Name)
+		}
+		names[b.Name] = true
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName should return nil for unknown")
+	}
+}
+
+func TestProgramsBuildAndVerify(t *testing.T) {
+	for _, b := range All() {
+		for _, cfg := range []Config{{}, {ForceBug: true}, {Light: true, ForceBug: true}} {
+			m := b.Program(cfg)
+			if err := mir.Verify(m); err != nil {
+				t.Errorf("%s %+v: %v", b.Name, cfg, err)
+			}
+			if _, err := b.FixSite(m); err != nil {
+				t.Errorf("%s: fix site not found: %v", b.Name, err)
+			}
+		}
+	}
+}
+
+// The survival-mode failure-site census must reproduce each app's Table 4
+// row: assert / wrong-output / segfault columns exactly, and the deadlock
+// column as the number of sites kept after the §4.2 pruning (the paper
+// counts hardened deadlock sites).
+func TestCensusMatchesTable4(t *testing.T) {
+	for _, b := range All() {
+		m := b.Program(Config{Light: true, ForceBug: true})
+		res, err := analysis.Analyze(m, analysis.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		got := res.Census
+		want := b.Paper.Sites
+		if got.Assert != want.Assert {
+			t.Errorf("%s: assert sites = %d, want %d", b.Name, got.Assert, want.Assert)
+		}
+		if got.WrongOutput != want.WrongOutput {
+			t.Errorf("%s: wrong-output sites = %d, want %d", b.Name, got.WrongOutput, want.WrongOutput)
+		}
+		if got.Segfault != want.Segfault {
+			t.Errorf("%s: segfault sites = %d, want %d", b.Name, got.Segfault, want.Segfault)
+		}
+		keptDeadlock := 0
+		for i := range res.Sites {
+			sa := &res.Sites[i]
+			if sa.Site.Kind == analysis.SiteDeadlock && sa.Recovers() {
+				keptDeadlock++
+			}
+		}
+		if keptDeadlock != want.Deadlock {
+			t.Errorf("%s: hardened deadlock sites = %d, want %d (raw %d)",
+				b.Name, keptDeadlock, want.Deadlock, got.Deadlock)
+		}
+	}
+}
+
+// Unhardened forced programs must fail with the paper's symptom with ~100%
+// probability (§5's methodology).
+func TestForcedFailureSymptom(t *testing.T) {
+	for _, b := range All() {
+		m := b.Program(Config{Light: true, ForceBug: true})
+		for seed := int64(0); seed < 10; seed++ {
+			r := interp.RunModule(m, interp.Config{
+				Sched: sched.NewRandom(seed), MaxSteps: 5_000_000,
+			})
+			if r.Completed {
+				t.Errorf("%s seed %d: forced run completed; bug did not manifest", b.Name, seed)
+				continue
+			}
+			if r.Failure.Kind != b.Symptom {
+				t.Errorf("%s seed %d: failure = %v, want %v (%s)",
+					b.Name, seed, r.Failure.Kind, b.Symptom, r.Failure.Msg)
+			}
+		}
+	}
+}
+
+// The failure-free variant must complete under any seed (§5: "software
+// never fails during the run-time overhead measurement").
+func TestUnforcedVariantCompletes(t *testing.T) {
+	for _, b := range All() {
+		m := b.Program(Config{Light: true})
+		for seed := int64(0); seed < 5; seed++ {
+			r := interp.RunModule(m, interp.Config{
+				Sched: sched.NewRandom(seed), MaxSteps: 20_000_000,
+			})
+			if !r.Completed {
+				t.Errorf("%s seed %d: unforced run failed: %v", b.Name, seed, r.Failure)
+			}
+		}
+	}
+}
+
+func hardenBug(t *testing.T, b *Bug, m *mir.Module, fix bool) *mir.Module {
+	t.Helper()
+	opts := core.DefaultOptions()
+	if fix {
+		pos, err := b.FixSite(m)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		opts = core.FixOptions(pos)
+	}
+	// Shorten the deadlock livelock backoff for test speed; the default
+	// values are exercised by the bench harness.
+	opts.Transform = transform.Options{LockTimeout: 200, LivelockBackoff: 16}
+	h, err := core.Harden(m, opts)
+	if err != nil {
+		t.Fatalf("%s: harden: %v", b.Name, err)
+	}
+	return h.Module
+}
+
+// Table 3: every bug recovers in fix mode (the oracle bugs carry their
+// oracle, so they are the paper's "conditionally recovered" rows).
+func TestFixModeRecovery(t *testing.T) {
+	for _, b := range All() {
+		m := b.Program(Config{Light: true, ForceBug: true})
+		hardened := hardenBug(t, b, m, true)
+		for seed := int64(0); seed < 20; seed++ {
+			r := interp.RunModule(hardened, interp.Config{
+				Sched: sched.NewRandom(seed), MaxSteps: 10_000_000,
+			})
+			if !r.Completed {
+				t.Errorf("%s seed %d (fix): not recovered: %v", b.Name, seed, r.Failure)
+			}
+		}
+	}
+}
+
+// Table 3: every bug also recovers in survival mode, where ConAir knows
+// nothing about the bug.
+func TestSurvivalModeRecovery(t *testing.T) {
+	for _, b := range All() {
+		m := b.Program(Config{Light: true, ForceBug: true})
+		hardened := hardenBug(t, b, m, false)
+		for seed := int64(0); seed < 10; seed++ {
+			r := interp.RunModule(hardened, interp.Config{
+				Sched: sched.NewRandom(seed), MaxSteps: 20_000_000,
+			})
+			if !r.Completed {
+				t.Errorf("%s seed %d (survival): not recovered: %v", b.Name, seed, r.Failure)
+			}
+		}
+	}
+}
+
+// Table 3's conditional recovery (§6.5): without the developer oracle, the
+// two wrong-output bugs complete while producing a wrong output, and even
+// hardened software cannot recover — there is no condition to check.
+func TestNoOracleIsNotRecovered(t *testing.T) {
+	checks := map[string]string{"FFT": "Stop", "MySQL1": "binlog"}
+	for name, tag := range checks {
+		b := ByName(name)
+		if !b.NeedsOracle {
+			t.Fatalf("%s should be oracle-dependent", name)
+		}
+		m := b.Program(Config{Light: true, ForceBug: true, NoOracle: true})
+		wrongOutput := func(r *interp.Result) bool {
+			for _, o := range r.Output {
+				if o.Text == tag && o.Value == 0 {
+					return true
+				}
+			}
+			return false
+		}
+		plain := interp.RunModule(m, interp.Config{
+			Sched: sched.NewRandom(1), CollectOutput: true, MaxSteps: 10_000_000,
+		})
+		if !plain.Completed || !wrongOutput(plain) {
+			t.Errorf("%s (no oracle): expected silent wrong output, got %+v", name, plain.Failure)
+		}
+		hardened := hardenBug(t, b, m, false)
+		hard := interp.RunModule(hardened, interp.Config{
+			Sched: sched.NewRandom(1), CollectOutput: true, MaxSteps: 20_000_000,
+		})
+		if !hard.Completed || !wrongOutput(hard) {
+			t.Errorf("%s (no oracle, hardened): recovery should be impossible, got %+v",
+				name, hard.Failure)
+		}
+	}
+}
+
+// The two inter-procedural bugs must actually be selected for
+// inter-procedural recovery (§6.1.1), and only those two.
+func TestInterprocSelection(t *testing.T) {
+	for _, b := range All() {
+		m := b.Program(Config{Light: true, ForceBug: true})
+		pos, err := b.FixSite(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := analysis.DefaultOptions()
+		opts.Mode = analysis.Fix
+		opts.FixSite = pos
+		res, err := analysis.Analyze(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.InterprocSites > 0
+		if got != b.NeedsInterproc {
+			t.Errorf("%s: interproc selected = %v, want %v", b.Name, got, b.NeedsInterproc)
+		}
+	}
+}
+
+// Recovery must actually roll back (not just happen to pass) and episodes
+// must be recorded for Table 7.
+func TestRecoveryEpisodesRecorded(t *testing.T) {
+	for _, b := range All() {
+		m := b.Program(Config{Light: true, ForceBug: true})
+		hardened := hardenBug(t, b, m, true)
+		r := interp.RunModule(hardened, interp.Config{
+			Sched: sched.NewRandom(7), MaxSteps: 10_000_000,
+		})
+		if !r.Completed {
+			t.Fatalf("%s: %v", b.Name, r.Failure)
+		}
+		if r.Stats.Rollbacks == 0 {
+			t.Errorf("%s: no rollbacks during forced recovery", b.Name)
+		}
+		recs := r.RecoveredEpisodes()
+		if len(recs) == 0 {
+			t.Errorf("%s: no recovered episodes recorded", b.Name)
+			continue
+		}
+		e := r.MaxEpisode()
+		if e.Retries <= 0 || e.Duration() <= 0 {
+			t.Errorf("%s: degenerate episode %+v", b.Name, e)
+		}
+	}
+}

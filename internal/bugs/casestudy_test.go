@@ -1,0 +1,171 @@
+package bugs
+
+import (
+	"testing"
+
+	"conair/internal/analysis"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// The three case studies the paper walks through in §6.1.1, pinned in
+// detail: Figure 9 (FFT), Figure 10 (MozillaXP) and Figure 11 (HawkNL).
+
+// Figure 9: the FFT reporter reads End too early; with the oracle, ConAir
+// inserts a setjmp right before the assert and recovery rolls back only a
+// few instructions ("some failure recoveries only roll back a few
+// instructions").
+func TestFigure9FFTCaseStudy(t *testing.T) {
+	b := ByName("FFT")
+	m := b.Program(Config{Light: true, ForceBug: true})
+
+	// The oracle's reexecution region is tiny: from the End load to the
+	// check, within the reporter.
+	pos, err := b.FixSite(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := analysis.IdentifyFix(m, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := analysis.IdentifyRegion(m, site, mir.PolicyExtended)
+	if len(region.Members) > 4 {
+		t.Errorf("FFT oracle region has %d members; the paper rolls back 'a few instructions'", len(region.Members))
+	}
+	if region.OnlyEntryPoint {
+		t.Error("the region must stop at the Start output, not reach reporter entry")
+	}
+
+	// Recovered output must include the initialized End value (1000) —
+	// the wrong-output failure is not just survived but corrected.
+	h, err := core.Harden(m, core.FixOptions(pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interp.RunModule(h.Module, interp.Config{Sched: sched.NewRandom(2), CollectOutput: true})
+	if !r.Completed {
+		t.Fatalf("FFT not recovered: %v", r.Failure)
+	}
+	var stop mir.Word = -1
+	for _, o := range r.Output {
+		if o.Text == "Stop" {
+			stop = o.Value
+		}
+	}
+	if stop != 1000 {
+		t.Errorf("Stop output = %d, want the initialized timestamp 1000", stop)
+	}
+}
+
+// Figure 10: MozillaXP's GetState dereference recovers inter-procedurally
+// — the reexecution point lands inside Get, before the mThd load — and
+// takes thousands of rollbacks while waiting for InitThd.
+func TestFigure10MozillaXPCaseStudy(t *testing.T) {
+	b := ByName("MozillaXP")
+	m := b.Program(Config{Light: true, ForceBug: true})
+	pos, err := b.FixSite(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := analysis.DefaultOptions()
+	opts.Mode = analysis.Fix
+	opts.FixSite = pos
+	res, err := analysis.Analyze(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := res.Sites[0]
+	if !sa.Interproc.Selected {
+		t.Fatal("GetState's dereference must recover inter-procedurally")
+	}
+	gi := m.FuncIndex("get")
+	if len(sa.Points) != 1 || sa.Points[0].Fn != gi {
+		t.Fatalf("reexecution point = %v, want inside get()", sa.Points)
+	}
+	// The point must sit after get's statistics update (the destroying
+	// store) and before its mThd load.
+	f := &m.Functions[gi]
+	in := &f.Blocks[sa.Points[0].Block].Instrs[sa.Points[0].Index]
+	if in.Op != mir.OpLoadG {
+		t.Errorf("checkpoint precedes %v, want the mThd load", in.Op)
+	}
+
+	// The forced run needs thousands of retries (paper: >8000).
+	h, err := core.Harden(m, core.FixOptions(pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interp.RunModule(h.Module, interp.Config{Sched: sched.NewRandom(3)})
+	if !r.Completed {
+		t.Fatalf("MozillaXP not recovered: %v", r.Failure)
+	}
+	e := r.MaxEpisode()
+	if e == nil || e.Retries < 1000 {
+		t.Errorf("episode = %+v; the paper's order-violation wait takes thousands of retries", e)
+	}
+}
+
+// Figure 11: HawkNL's deadlock. ConAir prunes the close() thread's slock
+// acquisition (its region, cut short by the driver call, contains no lock)
+// and keeps shutdown()'s nlock acquisition (its region reaches back across
+// the slock acquisition); at run time thread 2 times out, releases slock
+// via compensation and reexecutes a large chunk of shutdown.
+func TestFigure11HawkNLCaseStudy(t *testing.T) {
+	b := ByName("HawkNL")
+	m := b.Program(Config{Light: true, ForceBug: true})
+	res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeFn := m.FuncIndex("close")
+	shutdownFn := m.FuncIndex("shutdown")
+	var closeSites, shutdownKept, shutdownPruned int
+	for i := range res.Sites {
+		sa := &res.Sites[i]
+		if sa.Site.Kind != analysis.SiteDeadlock {
+			continue
+		}
+		switch sa.Site.Pos.Fn {
+		case closeFn:
+			closeSites++
+			if !sa.Verdict.Pruned() {
+				t.Errorf("close() lock at %v should be pruned (Figure 7a)", sa.Site.Pos)
+			}
+		case shutdownFn:
+			if sa.Verdict.Pruned() {
+				shutdownPruned++
+			} else {
+				shutdownKept++
+				if !sa.Region.HasLockAcquire {
+					t.Error("the kept shutdown site must have a lock acquisition in its region")
+				}
+			}
+		}
+	}
+	if closeSites != 2 {
+		t.Errorf("close() deadlock sites = %d, want 2", closeSites)
+	}
+	if shutdownKept != 1 || shutdownPruned != 1 {
+		t.Errorf("shutdown(): kept=%d pruned=%d, want 1 and 1", shutdownKept, shutdownPruned)
+	}
+
+	// Run time: one retry, with a compensating unlock of slock.
+	h, err := core.Harden(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interp.RunModule(h.Module, interp.Config{Sched: sched.NewRandom(4), MaxSteps: 5_000_000})
+	if !r.Completed {
+		t.Fatalf("HawkNL not recovered: %v", r.Failure)
+	}
+	if r.Stats.CompUnlocks == 0 {
+		t.Error("recovery must release slock via compensation")
+	}
+	e := r.MaxEpisode()
+	if e == nil || e.Retries != 1 {
+		t.Errorf("episode = %+v, want exactly 1 retry (paper Table 7)", e)
+	}
+}

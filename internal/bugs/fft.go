@@ -1,0 +1,115 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// FFT — scientific computing benchmark (SPLASH-2 FFT), paper Figure 9.
+//
+// Root cause: an order/atomicity violation on the shared timestamp End.
+// Thread 1 prints the start time, reads End and prints the stop/total
+// times; thread 2 is supposed to set End first but is not ordered with the
+// reader. When thread 1 reads End too early it observes 0 and emits a
+// wrong output. With the developer-supplied output-correctness condition
+// (assert tmp > 0 before the print), ConAir rolls the reader back a few
+// instructions — the region covers just the End load and the check — until
+// thread 2 has written End.
+func init() {
+	register(&Bug{
+		Name:        "FFT",
+		AppType:     "Scientific computing",
+		RootCause:   "A/O Vio.",
+		Symptom:     mir.FailWrongOutput,
+		NeedsOracle: true,
+		Paper: PaperNumbers{
+			LOC:            "1.2K",
+			Sites:          analysis.Census{Assert: 5, WrongOutput: 34, Segfault: 14, Deadlock: 0},
+			ReexecStatic:   56,
+			ReexecDynamic:  24,
+			OverheadPct:    0.0,
+			RecoveryMicros: 907,
+			Retries:        97,
+			RestartMicros:  3189072,
+		},
+		FixFunc: "reporter",
+		FixOp:   mir.OpAssert,
+		FixNth:  0,
+		build:   buildFFT,
+	})
+}
+
+func buildFFT(cfg Config) *mir.Module {
+	b := mir.NewBuilder("FFT")
+	endG := b.Global("End", 0)
+	initG := b.Global("Init", 3)
+
+	// Thread 1 (Figure 9): prints Start, asserts the oracle on End, prints
+	// Stop and Total.
+	f := b.Func("reporter")
+	iv := f.LoadG("iv", initG)
+	f.Output("Start", iv)
+	tmp := f.LoadG("tmp", endG)
+	if !cfg.NoOracle {
+		pos := f.Bin("pos", mir.BinGt, tmp, mir.Imm(0))
+		f.OracleAssert(pos, "End must be positive before reporting")
+	}
+	f.Output("Stop", tmp)
+	tot := f.Bin("tot", mir.BinSub, tmp, iv)
+	f.Output("Total", tot)
+	f.Ret(mir.None)
+
+	// Thread 2: sets End "at the end of the computation". Forcing delays
+	// the write so the reporter always reads too early.
+	t := b.Func("timer")
+	if cfg.ForceBug {
+		t.Sleep(mir.Imm(520))
+	}
+	t.StoreG(endG, mir.Imm(1000))
+	t.Ret(mir.None)
+
+	// The FFT computation itself: a compute-heavy workload whose sites
+	// are all outside the hot path (Table 4 row: 5/34/14/0). The core
+	// contributes 1 oracle + 3 outputs to the wrong-output column.
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "fft",
+		Derefs: 14, Asserts: 5, PrunableAsserts: 1, Outputs: 30,
+		HotSites: 0, HotIters: scaleIters(cfg, 400), Inner: 300,
+		ColdOnce: true,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		t2 := m.Spawn("t2", "timer")
+		t1 := m.Spawn("t1", "reporter")
+		m.Join(t1)
+		m.Join(t2)
+	} else {
+		// The failure-free ordering: the timer finishes before the
+		// reporter starts (no sleeps inserted; §5's overhead methodology).
+		t2 := m.Spawn("t2", "timer")
+		m.Join(t2)
+		t1 := m.Spawn("t1", "reporter")
+		m.Join(t1)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}
+
+// scaleIters adjusts hot-loop iteration counts: the Light configuration
+// (used by the repeated-run recovery experiments, where workload volume is
+// irrelevant) shrinks them ~20x, and Scale multiplies them for workload
+// sweeps.
+func scaleIters(cfg Config, full int) int {
+	if cfg.Scale > 0 {
+		full *= cfg.Scale
+	}
+	if cfg.Light {
+		full /= 20
+		if full < 2 {
+			full = 2
+		}
+	}
+	return full
+}

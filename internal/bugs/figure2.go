@@ -1,0 +1,196 @@
+package bugs
+
+import "conair/internal/mir"
+
+// Figure 2 of the paper: the four common atomicity-violation patterns and
+// how single-threaded rollback relates to them. Each micro-program fails
+// under the forced interleaving; the paper's taxonomy (§2.2) says which of
+// them ConAir's idempotent reexecution can recover:
+//
+//   - WAW (Figure 2a): the FAILING thread only reads; rolling it back and
+//     rereading recovers. ConAir recovers this.
+//   - RAW (Figure 2b): recovery requires reexecuting the failing thread's
+//     own shared-variable WRITE (ptr = aptr), which idempotent regions
+//     exclude. ConAir does not recover this; whole-state rollback does.
+//   - RAR (Figure 2c): two reads expected atomic; rereading recovers.
+//     ConAir recovers this.
+//   - WAR (Figure 2d): recovery requires reexecuting the failing thread's
+//     shared write (cnt += deposit1). ConAir does not recover this.
+//
+// These programs power the Figure 2 tests and benchmarks, including the
+// comparison against the whole-program-checkpoint baseline, which recovers
+// all four at much higher cost (Figure 4's trade-off).
+
+// Figure2WAW builds the Figure 2a pattern: thread 1 performs CLOSE;OPEN on
+// the shared log state; thread 2 observes the transient CLOSE and fails.
+// The failing thread (2) is recoverable by rereading.
+func Figure2WAW() *mir.Module {
+	b := mir.NewBuilder("figure2a-waw")
+	logG := b.Global("log", 1)
+
+	w := b.Func("writer")
+	w.StoreG(logG, mir.Imm(0)) // log = CLOSE
+	w.Sleep(mir.Imm(120))      // forced atomicity-violation window
+	w.StoreG(logG, mir.Imm(1)) // log = OPEN
+	w.Ret(mir.None)
+
+	r := b.Func("reader")
+	r.Sleep(mir.Imm(20)) // land inside the window
+	v := r.LoadG("v", logG)
+	r.OracleAssert(v, "log != OPEN: output failure")
+	r.Output("log-state", v)
+	r.Ret(mir.None)
+
+	m := b.Func("main")
+	t1 := m.Spawn("t1", "writer")
+	t2 := m.Spawn("t2", "reader")
+	m.Join(t1)
+	m.Join(t2)
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}
+
+// Figure2RAW builds the Figure 2b pattern: thread 1 publishes ptr = aptr
+// then dereferences it; thread 2 nulls ptr in between. The failing thread
+// would have to reexecute its own shared write to recover — beyond
+// idempotent regions.
+func Figure2RAW() *mir.Module {
+	b := mir.NewBuilder("figure2b-raw")
+	ptr := b.Global("ptr", 0)
+	aptr := b.Global("aptr", 0)
+
+	i := b.Func("initobj")
+	h := i.Alloc("h", mir.Imm(2))
+	i.Store(h, mir.Imm(11))
+	i.StoreG(aptr, h)
+	i.Ret(mir.None)
+
+	t1 := b.Func("user")
+	a := t1.LoadG("a", aptr)
+	t1.StoreG(ptr, a) // ptr = aptr  (shared write: region boundary)
+	t1.Sleep(mir.Imm(120))
+	p := t1.LoadG("p", ptr)
+	v := t1.Load("v", p) // tmp = *ptr → segfault when ptr was nulled
+	t1.StoreG(aptr, v)
+	t1.Ret(mir.None)
+
+	t2 := b.Func("nuller")
+	t2.Sleep(mir.Imm(20))
+	t2.StoreG(ptr, mir.Imm(0)) // ptr = NULL
+	t2.Ret(mir.None)
+
+	m := b.Func("main")
+	m.Call("", "initobj")
+	x := m.Spawn("x", "user")
+	y := m.Spawn("y", "nuller")
+	m.Join(x)
+	m.Join(y)
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}
+
+// Figure2RAR builds the Figure 2c pattern: thread 1 checks ptr then uses
+// it; thread 2 nulls it in between. Rolling thread 1 back rereads the
+// pointer — both reads are in one idempotent region — and recovers.
+func Figure2RAR() *mir.Module {
+	b := mir.NewBuilder("figure2c-rar")
+	ptr := b.Global("ptr", 0)
+	out := b.Global("outv", 0)
+
+	i := b.Func("initobj")
+	h := i.Alloc("h", mir.Imm(2))
+	i.Store(h, mir.Imm(22))
+	i.StoreG(ptr, h)
+	i.Ret(mir.None)
+
+	reinit := b.Func("reinit")
+	r2 := reinit.Alloc("h2", mir.Imm(2))
+	reinit.Store(r2, mir.Imm(33))
+	reinit.StoreG(ptr, r2)
+	reinit.Ret(mir.None)
+
+	t1 := b.Func("user")
+	p1 := t1.LoadG("p1", ptr) // if (ptr) — first read
+	chk := t1.NewBlock("deref")
+	done := t1.NewBlock("done")
+	t1.Br(p1, chk, done)
+	t1.SetBlock(chk)
+	t1.Sleep(mir.Imm(120)) // forced window between the two reads
+	p2 := t1.LoadG("p2", ptr)
+	v := t1.Load("v", p2) // fputs(ptr) — second read + dereference
+	t1.StoreG(out, v)
+	t1.Jmp(done)
+	t1.SetBlock(done)
+	t1.Ret(mir.None)
+
+	t2 := b.Func("nuller")
+	t2.Sleep(mir.Imm(20))
+	t2.StoreG(ptr, mir.Imm(0)) // ptr = NULL
+	t2.Sleep(mir.Imm(300))
+	t2.Call("", "reinit") // the pointer becomes valid again later
+	t2.Ret(mir.None)
+
+	m := b.Func("main")
+	m.Call("", "initobj")
+	x := m.Spawn("x", "user")
+	y := m.Spawn("y", "nuller")
+	m.Join(x)
+	m.Join(y)
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}
+
+// Figure2WAR builds the Figure 2d pattern: thread 1 adds its deposit and
+// reports the balance, expecting the two to be atomic; thread 2's deposit
+// lands in between, so the reported balance is stale. Recovery would
+// require reexecuting thread 1's own shared write.
+func Figure2WAR() *mir.Module {
+	b := mir.NewBuilder("figure2d-war")
+	cnt := b.Global("cnt", 0)
+
+	t1 := b.Func("teller1")
+	v := t1.LoadG("v", cnt)
+	v1 := t1.Bin("v1", mir.BinAdd, v, mir.Imm(100))
+	t1.StoreG(cnt, v1) // cnt += deposit1 (shared write: region boundary)
+	t1.Sleep(mir.Imm(120))
+	bal := t1.LoadG("bal", cnt)
+	ok := t1.Bin("ok", mir.BinEq, bal, v1)
+	t1.OracleAssert(ok, "printed balance omits concurrent deposit")
+	t1.Output("Balance", bal)
+	t1.Ret(mir.None)
+
+	t2 := b.Func("teller2")
+	t2.Sleep(mir.Imm(20))
+	w := t2.LoadG("w", cnt)
+	w1 := t2.Bin("w1", mir.BinAdd, w, mir.Imm(50))
+	t2.StoreG(cnt, w1) // cnt += deposit2
+	t2.Ret(mir.None)
+
+	m := b.Func("main")
+	x := m.Spawn("x", "teller1")
+	y := m.Spawn("y", "teller2")
+	m.Join(x)
+	m.Join(y)
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}
+
+// Figure2Pattern bundles one pattern with the paper's expectation.
+type Figure2Pattern struct {
+	Name  string
+	Build func() *mir.Module
+	// ConAirRecovers is the paper's §2.2 taxonomy: idempotent
+	// single-threaded reexecution suffices for WAW and RAR, but not for
+	// RAW and WAR (those need shared-write reexecution).
+	ConAirRecovers bool
+}
+
+// Figure2Patterns returns the four patterns in the paper's order.
+func Figure2Patterns() []Figure2Pattern {
+	return []Figure2Pattern{
+		{"WAW", Figure2WAW, true},
+		{"RAW", Figure2RAW, false},
+		{"RAR", Figure2RAR, true},
+		{"WAR", Figure2WAR, false},
+	}
+}

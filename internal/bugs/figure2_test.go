@@ -1,0 +1,59 @@
+package bugs
+
+import (
+	"testing"
+
+	"conair/internal/baseline"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/sched"
+)
+
+// Figure 2 / §2.2: every pattern fails unprotected; ConAir's idempotent
+// single-threaded reexecution recovers WAW and RAR but not RAW and WAR
+// (whose recovery would reexecute the failing thread's own shared writes).
+func TestFigure2Taxonomy(t *testing.T) {
+	for _, p := range Figure2Patterns() {
+		m := p.Build()
+		plain := interp.RunModule(m, interp.Config{
+			Sched: sched.NewRandom(1), MaxSteps: 2_000_000,
+		})
+		if plain.Completed {
+			t.Errorf("figure2 %s: unprotected run should fail", p.Name)
+			continue
+		}
+
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("figure2 %s: %v", p.Name, err)
+		}
+		recovered := true
+		for seed := int64(0); seed < 10; seed++ {
+			r := interp.RunModule(h.Module, interp.Config{
+				Sched: sched.NewRandom(seed), MaxSteps: 5_000_000,
+			})
+			if !r.Completed {
+				recovered = false
+				break
+			}
+		}
+		if recovered != p.ConAirRecovers {
+			t.Errorf("figure2 %s: ConAir recovered=%v, paper taxonomy says %v",
+				p.Name, recovered, p.ConAirRecovers)
+		}
+	}
+}
+
+// The whole-program-checkpoint baseline recovers all four patterns — the
+// other end of Figure 4's design spectrum.
+func TestFigure2CheckpointBaselineRecoversAll(t *testing.T) {
+	for _, p := range Figure2Patterns() {
+		m := p.Build()
+		r := baseline.RunCheckpointed(m, baseline.CheckpointConfig{
+			Interval: 25, Seed: 5, PerturbBound: 400, MaxSteps: 5_000_000,
+		})
+		if !r.Completed {
+			t.Errorf("figure2 %s: checkpoint baseline failed to recover", p.Name)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// HawkNL — network library, paper Figure 11.
+//
+// Root cause: a deadlock from reversed lock ordering. nlClose acquires
+// nlock, calls the driver's close routine, then acquires slock; nlShutdown
+// acquires slock and, while walking the socket table, acquires nlock.
+//
+// ConAir's analysis mirrors the paper exactly: the slock acquisition in
+// close() has a tiny reexecution region (the driver call destroys
+// idempotency) with no enclosed lock acquisition, so it is pruned as
+// unrecoverable; the nlock acquisition in shutdown() has a region reaching
+// back across the slock acquisition to the function entry, so it is kept.
+// At run time shutdown's timed lock expires, the rollback releases slock
+// via compensation and reexecutes a large chunk of shutdown, letting close
+// finish — resolving the deadlock.
+func init() {
+	register(&Bug{
+		Name:      "HawkNL",
+		AppType:   "Network library",
+		RootCause: "deadlock",
+		Symptom:   mir.FailHang,
+		Paper: PaperNumbers{
+			LOC:            "10K",
+			Sites:          analysis.Census{Assert: 0, WrongOutput: 0, Segfault: 5, Deadlock: 2},
+			ReexecStatic:   7,
+			ReexecDynamic:  7,
+			OverheadPct:    0.0,
+			RecoveryMicros: 59,
+			Retries:        1,
+			RestartMicros:  943,
+		},
+		FixFunc: "shutdown",
+		FixOp:   mir.OpLock,
+		FixNth:  1, // the inner nlock acquisition
+		build:   buildHawkNL,
+	})
+}
+
+func buildHawkNL(cfg Config) *mir.Module {
+	b := mir.NewBuilder("HawkNL")
+	nlock := b.Global("nlock", 0)
+	slock := b.Global("slock", 0)
+	nSockets := b.Global("nSockets", 1)
+	closed := b.Global("closed", 0)
+
+	// driver->Close(): the call that cuts close()'s reexecution region.
+	d := b.Func("driverclose")
+	if cfg.ForceBug {
+		// Hold nlock long enough for shutdown to take slock.
+		d.Sleep(mir.Imm(80))
+	}
+	d.StoreG(closed, mir.Imm(1))
+	d.Ret(mir.None)
+
+	// Thread 1 (Figure 11 left): Close().
+	c := b.Func("close")
+	pn := c.AddrG("pn", nlock)
+	c.Lock(pn)
+	c.Call("", "driverclose")
+	ps := c.AddrG("ps", slock)
+	c.Lock(ps)
+	c.Unlock(ps)
+	c.Unlock(pn)
+	c.Ret(mir.None)
+
+	// Thread 2 (Figure 11 right): Shutdown().
+	s := b.Func("shutdown")
+	ps2 := s.AddrG("ps", slock)
+	s.Lock(ps2)
+	ns := s.LoadG("ns", nSockets)
+	inner := s.NewBlock("inner")
+	out := s.NewBlock("out")
+	s.Br(ns, inner, out)
+	s.SetBlock(inner)
+	pn2 := s.AddrG("pn", nlock)
+	s.Lock(pn2)
+	s.Unlock(pn2)
+	s.Jmp(out)
+	s.SetBlock(out)
+	s.Unlock(ps2)
+	s.Ret(mir.None)
+
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "nl",
+		Derefs: 5, LockPairs: 1,
+		HotSites: 0, HotIters: scaleIters(cfg, 50), Inner: 100,
+		ColdOnce: true,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		t1 := m.Spawn("t1", "close")
+		t2 := m.Spawn("t2", "shutdown")
+		m.Join(t1)
+		m.Join(t2)
+	} else {
+		t1 := m.Spawn("t1", "close")
+		m.Join(t1)
+		t2 := m.Spawn("t2", "shutdown")
+		m.Join(t2)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

@@ -1,0 +1,94 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// HTTrack — web crawler.
+//
+// Root cause: an order violation on a shared options/back-channel pointer.
+// A crawler worker dereferences the shared pointer assuming the background
+// initializer has already published it; under the buggy interleaving the
+// pointer is still null and the worker segfaults.
+//
+// Recovery: the dereference is a potential segmentation-fault site; the
+// planted pointer sanity check fails, and the rollback rereads the shared
+// pointer until the initializer has run. HTTrack's census is dominated by
+// the many assertions its developers left in the code (Table 4: 657
+// assertion sites).
+func init() {
+	register(&Bug{
+		Name:      "HTTrack",
+		AppType:   "Web crawler",
+		RootCause: "O Vio.",
+		Symptom:   mir.FailSegfault,
+		Paper: PaperNumbers{
+			LOC:            "55K",
+			Sites:          analysis.Census{Assert: 657, WrongOutput: 504, Segfault: 3146, Deadlock: 0},
+			ReexecStatic:   3570,
+			ReexecDynamic:  12995,
+			OverheadPct:    0.0,
+			RecoveryMicros: 4237,
+			Retries:        474,
+			RestartMicros:  10776,
+		},
+		FixFunc: "crawler",
+		FixOp:   mir.OpLoad,
+		FixNth:  0,
+		build:   buildHTTrack,
+	})
+}
+
+func buildHTTrack(cfg Config) *mir.Module {
+	b := mir.NewBuilder("HTTrack")
+	gopt := b.Global("gopt", 0)
+	hresult := b.Global("hresult", 0)
+
+	// The failing thread: dereferences the shared back-channel pointer.
+	c := b.Func("crawler")
+	p := c.LoadG("p", gopt)
+	v := c.Load("v", p)
+	c.StoreG(hresult, v)
+	c.Ret(mir.None)
+
+	// The background initializer publishes the pointer late under the
+	// buggy interleaving.
+	i := b.Func("backinit")
+	if cfg.ForceBug {
+		i.Sleep(mir.Imm(2400))
+	}
+	h := i.Alloc("h", mir.Imm(4))
+	i.Store(h, mir.Imm(7))
+	a1 := i.Bin("a1", mir.BinAdd, h, mir.Imm(1))
+	i.Store(a1, mir.Imm(9))
+	i.StoreG(gopt, h)
+	i.Ret(mir.None)
+
+	// Crawl workload: a hot fetch/parse loop with pointer-heavy cold
+	// helpers; the census tops up to Table 4's 657/504/3146/0. The core
+	// contributes 3 segfault sites (the crawler dereference plus the two
+	// initializing stores).
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "ht",
+		Derefs: 3143, Asserts: 657, PrunableAsserts: 600, Outputs: 504,
+		HotSites: 12, HotIters: scaleIters(cfg, 300), Inner: 1400,
+		ColdOnce: true,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		ti := m.Spawn("ti", "backinit")
+		tc := m.Spawn("tc", "crawler")
+		m.Join(tc)
+		m.Join(ti)
+	} else {
+		ti := m.Spawn("ti", "backinit")
+		m.Join(ti)
+		tc := m.Spawn("tc", "crawler")
+		m.Join(tc)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

@@ -1,0 +1,113 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// MozillaJS — the SpiderMonkey JavaScript engine.
+//
+// Root cause: a deadlock between the garbage collector and a title-claim
+// path that acquire the runtime lock and the GC lock in opposite orders.
+//
+// The GC thread takes the GC lock first and the runtime lock second with
+// nothing idempotency-destroying in between, so its runtime-lock
+// acquisition is a recoverable deadlock site: on timeout the rollback
+// releases the GC lock (compensation) and reexecutes, letting the claim
+// thread through. The claim thread calls a helper between its two
+// acquisitions, so its site is pruned — exactly the asymmetric pattern of
+// HawkNL at a different scale.
+func init() {
+	register(&Bug{
+		Name:      "MozillaJS",
+		AppType:   "JavaScript engine",
+		RootCause: "deadlock",
+		Symptom:   mir.FailHang,
+		Paper: PaperNumbers{
+			LOC:            "120K",
+			Sites:          analysis.Census{Assert: 0, WrongOutput: 5, Segfault: 134, Deadlock: 6},
+			ReexecStatic:   144,
+			ReexecDynamic:  6,
+			OverheadPct:    0.0,
+			RecoveryMicros: 44,
+			Retries:        1,
+			RestartMicros:  472,
+		},
+		FixFunc: "jsgc",
+		FixOp:   mir.OpLock,
+		FixNth:  1, // the runtime-lock acquisition inside the GC
+		build:   buildMozillaJS,
+	})
+}
+
+func buildMozillaJS(cfg Config) *mir.Module {
+	b := mir.NewBuilder("MozillaJS")
+	gcLock := b.Global("gc_lock", 0)
+	rtLock := b.Global("rt_lock", 0)
+	gcCount := b.Global("gc_count", 0)
+	titles := b.Global("titles", 0)
+
+	// GC thread: gc_lock → rt_lock (recoverable at rt_lock).
+	gc := b.Func("jsgc")
+	pg := gc.AddrG("pg", gcLock)
+	gc.Lock(pg)
+	if cfg.ForceBug {
+		gc.Sleep(mir.Imm(70))
+	}
+	pr := gc.AddrG("pr", rtLock)
+	gc.Lock(pr)
+	n := gc.LoadG("n", gcCount)
+	n1 := gc.Bin("n1", mir.BinAdd, n, mir.Imm(1))
+	gc.StoreG(gcCount, n1)
+	gc.Unlock(pr)
+	gc.Unlock(pg)
+	gc.Ret(mir.None)
+
+	// Title bookkeeping helper: the destroying call that makes the claim
+	// thread's second acquisition unrecoverable.
+	h := b.Func("scanhelper")
+	if cfg.ForceBug {
+		h.Sleep(mir.Imm(70))
+	}
+	t := h.LoadG("t", titles)
+	t1 := h.Bin("t1", mir.BinAdd, t, mir.Imm(1))
+	h.StoreG(titles, t1)
+	h.Ret(mir.None)
+
+	// Claim thread: rt_lock → helper() → gc_lock.
+	cl := b.Func("jsclaim")
+	pr2 := cl.AddrG("pr", rtLock)
+	cl.Lock(pr2)
+	cl.Call("", "scanhelper")
+	pg2 := cl.AddrG("pg", gcLock)
+	cl.Lock(pg2)
+	cl.Unlock(pg2)
+	cl.Unlock(pr2)
+	cl.Ret(mir.None)
+
+	// Engine workload: pointer-walking interpreter internals (Table 4:
+	// 0/5/134/6). The core contributes 1 recoverable deadlock site; 5
+	// filler nested pairs complete the row.
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "js",
+		Derefs: 134, Outputs: 5, LockPairs: 5, LoneLocks: 2,
+		HotSites: 0, HotIters: scaleIters(cfg, 40), Inner: 200,
+		ColdOnce: false,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		t1 := m.Spawn("t1", "jsgc")
+		t2 := m.Spawn("t2", "jsclaim")
+		m.Join(t1)
+		m.Join(t2)
+	} else {
+		t1 := m.Spawn("t1", "jsgc")
+		m.Join(t1)
+		t2 := m.Spawn("t2", "jsclaim")
+		m.Join(t2)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

@@ -1,0 +1,122 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// MozillaXP — the XPCOM cross-platform component model, paper Figure 10.
+//
+// Root cause: an order violation on the shared thread descriptor mThd.
+// The main thread calls Get() → GetState(mThd), which dereferences the
+// descriptor, while another thread initializes mThd; read too early, the
+// null descriptor segfaults.
+//
+// This is one of the two bugs requiring INTER-PROCEDURAL reexecution
+// (§4.3, §6.1.1): the dereference in GetState depends only on its
+// parameter, and GetState's whole body is idempotent, so the reexecution
+// point is pushed into the caller Get — right after Get's last
+// idempotency-destroying operation, before it loads mThd. At run time the
+// failing thread rolls back thousands of times (the paper observed more
+// than 8000 retries) until the initializer publishes mThd, making this the
+// slowest recovery in the suite.
+func init() {
+	register(&Bug{
+		Name:           "MozillaXP",
+		AppType:        "XPCOM component model",
+		RootCause:      "O Vio.",
+		Symptom:        mir.FailSegfault,
+		NeedsInterproc: true,
+		Paper: PaperNumbers{
+			LOC:            "112K",
+			Sites:          analysis.Census{Assert: 1, WrongOutput: 117, Segfault: 6791, Deadlock: 0},
+			ReexecStatic:   3647,
+			ReexecDynamic:  2170,
+			OverheadPct:    0.0,
+			RecoveryMicros: 17388,
+			Retries:        8432,
+			RestartMicros:  207041,
+		},
+		FixFunc: "getstate",
+		FixOp:   mir.OpLoad,
+		FixNth:  0,
+		build:   buildMozillaXP,
+	})
+}
+
+func buildMozillaXP(cfg Config) *mir.Module {
+	b := mir.NewBuilder("MozillaXP")
+	mThd := b.Global("mThd", 0)
+	gstate := b.Global("gstate", 0)
+	gcalls := b.Global("gcalls", 0)
+
+	// GetState(thd) — Figure 10: returns thd->state & THREAD_DETACHED.
+	// The whole function is idempotent and depends only on its parameter.
+	gs := b.Func("getstate", "thd")
+	v := gs.Load("v", gs.R("thd"))
+	r := gs.Bin("r", mir.BinAnd, v, mir.Imm(1))
+	gs.Ret(r)
+
+	// Get() — the caller. The call-count update is the destroying
+	// operation that anchors the inter-procedural reexecution point; the
+	// mThd load after it is inside the caller-side region, so rollback
+	// rereads the descriptor pointer.
+	g := b.Func("get")
+	n := g.LoadG("n", gcalls)
+	n1 := g.Bin("n1", mir.BinAdd, n, mir.Imm(1))
+	g.StoreG(gcalls, n1)
+	p := g.LoadG("p", mThd)
+	tmp := g.Call("tmp", "getstate", p)
+	g.StoreG(gstate, tmp)
+	g.Ret(mir.None)
+
+	// InitThd() — Figure 10 right: publishes mThd, late under forcing.
+	it := b.Func("initthd")
+	if cfg.ForceBug {
+		it.Sleep(mir.Imm(24000))
+	}
+	h := it.Alloc("h", mir.Imm(2))
+	it.Store(h, mir.Imm(3))
+	it.StoreG(mThd, h)
+	it.Ret(mir.None)
+
+	// XPCOM workload: a large pointer-dense codebase (Table 4: 6791
+	// segfault sites). The hot path touches few sites; most of the
+	// component code is cold, matching the paper's dynamic count being
+	// below the static one. Core segfault sites: getstate's dereference
+	// plus initthd's store.
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "xp",
+		Derefs: 6789, Asserts: 1, Outputs: 117,
+		HotSites: 4, HotIters: scaleIters(cfg, 400), Inner: 1200,
+		ColdOnce: false, ColdCalls: 4,
+	})
+
+	// The component's state is queried repeatedly (the paper's fix-mode
+	// run executes its reexecution point 23 times); only the first query
+	// can race initialization.
+	getLoop := func(m *mir.FuncBuilder, times int64) {
+		m.Const("q", 0)
+		gl := m.Label("getloop")
+		m.Call("", "get")
+		m.Bin("q", mir.BinAdd, m.R("q"), mir.Imm(1))
+		qc := m.Bin("qc", mir.BinLt, m.R("q"), mir.Imm(times))
+		out := m.NewBlock("getdone")
+		m.Br(qc, gl, out)
+		m.SetBlock(out)
+	}
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		ti := m.Spawn("ti", "initthd")
+		getLoop(m, 8)
+		m.Join(ti)
+	} else {
+		ti := m.Spawn("ti", "initthd")
+		m.Join(ti)
+		getLoop(m, 8)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

@@ -1,0 +1,190 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// MySQL1 — database server, bug 1 (wrong output from a WAW atomicity
+// violation, the Figure 2a pattern).
+//
+// The log-rotation path closes and reopens the binlog with two writes to
+// the shared log state that are meant to be atomic; a concurrent logging
+// thread observing the transient CLOSED state emits a wrong "log disabled"
+// result. With the developer oracle (the log must be OPEN when writing),
+// ConAir rolls the logging thread back until the rotation's second write
+// lands.
+func init() {
+	register(&Bug{
+		Name:        "MySQL1",
+		AppType:     "Database server",
+		RootCause:   "A Vio.",
+		Symptom:     mir.FailWrongOutput,
+		NeedsOracle: true,
+		Paper: PaperNumbers{
+			LOC:            "681K",
+			Sites:          analysis.Census{Assert: 119, WrongOutput: 3256, Segfault: 15791, Deadlock: 19},
+			ReexecStatic:   12494,
+			ReexecDynamic:  215218,
+			OverheadPct:    0.1,
+			RecoveryMicros: 6014,
+			Retries:        575,
+			RestartMicros:  26308,
+		},
+		FixFunc: "logwrite",
+		FixOp:   mir.OpAssert,
+		FixNth:  0,
+		build:   buildMySQL1,
+	})
+}
+
+func buildMySQL1(cfg Config) *mir.Module {
+	b := mir.NewBuilder("MySQL1")
+	logState := b.Global("log_state", 1) // 1 = OPEN
+	logLines := b.Global("log_lines", 0)
+
+	// Rotation thread: CLOSE then OPEN, non-atomically (Figure 2a).
+	rot := b.Func("logrotate")
+	rot.StoreG(logState, mir.Imm(0)) // CLOSE
+	if cfg.ForceBug {
+		rot.Sleep(mir.Imm(2900))
+	}
+	rot.StoreG(logState, mir.Imm(1)) // OPEN
+	rot.Ret(mir.None)
+
+	// Logging thread: checks the oracle, then writes the line.
+	lw := b.Func("logwrite")
+	v := lw.LoadG("v", logState)
+	if !cfg.NoOracle {
+		lw.OracleAssert(v, "binlog must be open when writing")
+	}
+	lw.Output("binlog", v)
+	n := lw.LoadG("n", logLines)
+	n1 := lw.Bin("n1", mir.BinAdd, n, mir.Imm(1))
+	lw.StoreG(logLines, n1)
+	lw.Ret(mir.None)
+
+	// Server workload: the largest census in the suite (Table 4:
+	// 119/3256/15791/19) with a query-processing hot loop. Core
+	// wrong-output sites: the oracle plus the binlog output.
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "my1",
+		Derefs: 15791, Asserts: 119, PrunableAsserts: 119, Outputs: 3254,
+		LockPairs: 19, LoneLocks: 140,
+		HotSites: 48, HotIters: scaleIters(cfg, 450), Inner: 3000,
+		HotPrunableAsserts: 4,
+		ColdOnce:           false, ColdCalls: 40,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		// Let the rotation's CLOSE land before the writer starts, so the
+		// writer always observes the transient closed state.
+		tr := m.Spawn("tr", "logrotate")
+		m.Sleep(mir.Imm(120))
+		tw := m.Spawn("tw", "logwrite")
+		m.Join(tw)
+		m.Join(tr)
+	} else {
+		tr := m.Spawn("tr", "logrotate")
+		m.Join(tr)
+		tw := m.Spawn("tw", "logwrite")
+		m.Join(tw)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}
+
+// MySQL2 — database server, bug 2 (assertion violation from a
+// read-after-read atomicity violation, the Figure 2c pattern).
+//
+// A monitoring thread reads the shared per-thread proc_info twice assuming
+// atomicity; a concurrent state change between the reads trips the
+// consistency assertion. This is the paper's fastest recovery: one
+// rollback rereads both values and the assertion passes immediately (8µs
+// in the paper) — while a whole-program restart replays the server's
+// entire startup (836ms), the largest restart/recovery gap in the suite.
+func init() {
+	register(&Bug{
+		Name:      "MySQL2",
+		AppType:   "Database server",
+		RootCause: "A Vio.",
+		Symptom:   mir.FailAssert,
+		Paper: PaperNumbers{
+			LOC:            "693K",
+			Sites:          analysis.Census{Assert: 518, WrongOutput: 2853, Segfault: 15498, Deadlock: 21},
+			ReexecStatic:   13031,
+			ReexecDynamic:  82394,
+			OverheadPct:    0.0,
+			RecoveryMicros: 8,
+			Retries:        1,
+			RestartMicros:  836177,
+		},
+		FixFunc: "checker",
+		FixOp:   mir.OpAssert,
+		FixNth:  0,
+		build:   buildMySQL2,
+	})
+}
+
+func buildMySQL2(cfg Config) *mir.Module {
+	b := mir.NewBuilder("MySQL2")
+	procInfo := b.Global("proc_info", 1)
+
+	// Monitoring thread: two reads of proc_info expected to be atomic
+	// (RAR). The yield loop between them is the race window the paper's
+	// evaluation widens with injected sleeps.
+	ck := b.Func("checker")
+	a := ck.LoadG("a", procInfo)
+	ck.Const("i", 0)
+	loop := ck.Label("window")
+	ck.Yield()
+	ck.Bin("i", mir.BinAdd, ck.R("i"), mir.Imm(1))
+	c := ck.Bin("c", mir.BinLt, ck.R("i"), mir.Imm(40))
+	after := ck.NewBlock("after")
+	ck.Br(c, loop, after)
+	ck.SetBlock(after)
+	bb := ck.LoadG("b", procInfo)
+	same := ck.Bin("same", mir.BinEq, a, bb)
+	ck.Assert(same, "proc_info must not change mid-report")
+	ck.Ret(mir.None)
+
+	// State-change thread: flips proc_info inside the window when forced.
+	mu := b.Func("mutator")
+	if cfg.ForceBug {
+		mu.Sleep(mir.Imm(15))
+	}
+	mu.StoreG(procInfo, mir.Imm(0))
+	mu.Yield()
+	mu.StoreG(procInfo, mir.Imm(2))
+	mu.Ret(mir.None)
+
+	// Server workload: comparable census to MySQL1 (Table 4:
+	// 518/2853/15498/21) but a much heavier startup/run volume — the
+	// source of the paper's 836ms restart cost.
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "my2",
+		Derefs: 15498, Asserts: 517, PrunableAsserts: 50, Outputs: 2853,
+		LockPairs: 21, LoneLocks: 210,
+		HotSites: 32, HotIters: scaleIters(cfg, 800), Inner: 2500,
+		HotPrunableAsserts: 6,
+		ColdOnce:           false, ColdCalls: 40,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		tm := m.Spawn("tm", "mutator")
+		tc := m.Spawn("tc", "checker")
+		m.Join(tc)
+		m.Join(tm)
+	} else {
+		tm := m.Spawn("tm", "mutator")
+		m.Join(tm)
+		tc := m.Spawn("tc", "checker")
+		m.Join(tc)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

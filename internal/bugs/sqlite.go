@@ -1,0 +1,106 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// SQLite — embedded database engine.
+//
+// Root cause: a deadlock between a writer committing (database lock, then
+// — after flushing — the journal lock) and a checkpointing thread taking
+// the same two locks in the opposite order with nothing destroying in
+// between. The checkpointer's second acquisition is the one recoverable
+// site (Table 4 reports a single deadlock site for SQLite): its timed lock
+// expires, the rollback releases the journal lock, the writer finishes,
+// and the checkpointer reexecutes successfully — one retry, like the
+// paper.
+func init() {
+	register(&Bug{
+		Name:      "SQLite",
+		AppType:   "Database engine",
+		RootCause: "deadlock",
+		Symptom:   mir.FailHang,
+		Paper: PaperNumbers{
+			LOC:            "67K",
+			Sites:          analysis.Census{Assert: 0, WrongOutput: 25, Segfault: 47, Deadlock: 1},
+			ReexecStatic:   142,
+			ReexecDynamic:  7,
+			OverheadPct:    0.0,
+			RecoveryMicros: 86,
+			Retries:        1,
+			RestartMicros:  1443,
+		},
+		FixFunc: "checkpointer",
+		FixOp:   mir.OpLock,
+		FixNth:  1, // the db-lock acquisition after the journal lock
+		build:   buildSQLite,
+	})
+}
+
+func buildSQLite(cfg Config) *mir.Module {
+	b := mir.NewBuilder("SQLite")
+	dbLock := b.Global("db_lock", 0)
+	jLock := b.Global("journal_lock", 0)
+	committed := b.Global("committed", 0)
+
+	// The flush between the writer's two acquisitions: a destroying call,
+	// making the writer's journal-lock site unrecoverable (pruned).
+	fl := b.Func("flush")
+	if cfg.ForceBug {
+		fl.Sleep(mir.Imm(90))
+	}
+	n := fl.LoadG("n", committed)
+	n1 := fl.Bin("n1", mir.BinAdd, n, mir.Imm(1))
+	fl.StoreG(committed, n1)
+	fl.Ret(mir.None)
+
+	// Writer: db_lock → flush() → journal_lock.
+	w := b.Func("writer")
+	pd := w.AddrG("pd", dbLock)
+	w.Lock(pd)
+	w.Call("", "flush")
+	pj := w.AddrG("pj", jLock)
+	w.Lock(pj)
+	w.Unlock(pj)
+	w.Unlock(pd)
+	w.Ret(mir.None)
+
+	// Checkpointer: journal_lock → db_lock, back-to-back (recoverable).
+	cp := b.Func("checkpointer")
+	pj2 := cp.AddrG("pj", jLock)
+	cp.Lock(pj2)
+	if cfg.ForceBug {
+		cp.Sleep(mir.Imm(40))
+	}
+	pd2 := cp.AddrG("pd", dbLock)
+	cp.Lock(pd2)
+	cp.Unlock(pd2)
+	cp.Unlock(pj2)
+	cp.Ret(mir.None)
+
+	// Engine workload (Table 4: 0/25/47/1 — the single deadlock site is
+	// the checkpointer's, so no filler lock pairs).
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "sq",
+		Derefs: 47, Outputs: 25,
+		HotSites: 0, HotIters: scaleIters(cfg, 60), Inner: 150,
+		ColdOnce: false,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		t1 := m.Spawn("t1", "writer")
+		t2 := m.Spawn("t2", "checkpointer")
+		m.Join(t1)
+		m.Join(t2)
+	} else {
+		t1 := m.Spawn("t1", "writer")
+		m.Join(t1)
+		t2 := m.Spawn("t2", "checkpointer")
+		m.Join(t2)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

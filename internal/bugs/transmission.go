@@ -1,0 +1,97 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// Transmission — BitTorrent client.
+//
+// Root cause: an order violation on the shared bandwidth object. The peer
+// loop passes the object to a checking helper that asserts it is non-null;
+// under the buggy interleaving the session initializer has not yet
+// published it.
+//
+// Like MozillaXP, this bug requires INTER-PROCEDURAL reexecution (§6.1.1):
+// the assert in the helper depends only on the helper's parameter and the
+// helper body is fully idempotent, so the reexecution point is pushed into
+// the peer loop, right after its last destroying operation and before the
+// load of the shared pointer — rolling back there rereads the pointer.
+func init() {
+	register(&Bug{
+		Name:           "Transmission",
+		AppType:        "BitTorrent client",
+		RootCause:      "O Vio.",
+		Symptom:        mir.FailAssert,
+		NeedsInterproc: true,
+		Paper: PaperNumbers{
+			LOC:            "95K",
+			Sites:          analysis.Census{Assert: 430, WrongOutput: 190, Segfault: 2151, Deadlock: 0},
+			ReexecStatic:   2568,
+			ReexecDynamic:  4425,
+			OverheadPct:    0.2,
+			RecoveryMicros: 6476,
+			Retries:        761,
+			RestartMicros:  553109,
+		},
+		FixFunc: "assertband",
+		FixOp:   mir.OpAssert,
+		FixNth:  0,
+		build:   buildTransmission,
+	})
+}
+
+func buildTransmission(cfg Config) *mir.Module {
+	b := mir.NewBuilder("Transmission")
+	gband := b.Global("gband", 0)
+	tstat := b.Global("tstat", 0)
+
+	// The checking helper: assert(band != NULL) on the parameter.
+	ab := b.Func("assertband", "band")
+	ok := ab.Bin("ok", mir.BinNe, ab.R("band"), mir.Imm(0))
+	ab.Assert(ok, "bandwidth object must be initialized")
+	ab.Ret(mir.None)
+
+	// The peer loop: bumps its statistics (destroying — anchors the
+	// caller-side reexecution point), loads the shared pointer, checks it.
+	pl := b.Func("peerloop")
+	s := pl.LoadG("s", tstat)
+	s1 := pl.Bin("s1", mir.BinAdd, s, mir.Imm(1))
+	pl.StoreG(tstat, s1)
+	band := pl.LoadG("band", gband)
+	pl.Call("", "assertband", band)
+	pl.Ret(mir.None)
+
+	// Session initializer: publishes the bandwidth object.
+	bi := b.Func("bandinit")
+	if cfg.ForceBug {
+		bi.Sleep(mir.Imm(4500))
+	}
+	h := bi.Alloc("h", mir.Imm(2))
+	bi.Store(h, mir.Imm(5))
+	bi.StoreG(gband, h)
+	bi.Ret(mir.None)
+
+	// Client workload (Table 4: 430/190/2151/0). Core sites: the helper's
+	// assert and the initializer's store.
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "tr",
+		Derefs: 2150, Asserts: 429, PrunableAsserts: 60, Outputs: 190,
+		HotSites: 10, HotIters: scaleIters(cfg, 300), Inner: 1300,
+		ColdOnce: true,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		ti := m.Spawn("ti", "bandinit")
+		m.Call("", "peerloop")
+		m.Join(ti)
+	} else {
+		ti := m.Spawn("ti", "bandinit")
+		m.Join(ti)
+		m.Call("", "peerloop")
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

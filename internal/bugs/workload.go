@@ -1,0 +1,304 @@
+package bugs
+
+import (
+	"fmt"
+
+	"conair/internal/mir"
+)
+
+// WorkloadSpec sizes the synthetic workload surrounding a bug's core. The
+// static knobs (Derefs, Asserts, Outputs, LockPairs, PrunableAsserts)
+// control the failure-site census so each app reproduces its Table 4 row;
+// the dynamic knobs (HotIters, HotSites, Inner) control how many
+// reexecution points execute per run (Table 5) and the overhead ratio
+// (Table 3): every hot-path site costs a checkpoint plus a guard, so the
+// inner pure-compute work between sites sets the overhead.
+type WorkloadSpec struct {
+	// Prefix distinguishes multiple workloads in one module.
+	Prefix string
+
+	// Derefs is the number of pointer-dereference (potential segfault)
+	// sites to generate, including buffer-initialization stores.
+	Derefs int
+	// Asserts is the number of plain assertion sites; PrunableAsserts of
+	// them depend only on register values (no shared read on the slice)
+	// and are removed by the §4.2 optimization.
+	Asserts         int
+	PrunableAsserts int
+	// Outputs is the number of oracle-less output sites.
+	Outputs int
+	// LockPairs is the number of nested lock acquisitions; each pair
+	// yields one recoverable deadlock site (the inner lock) and one
+	// pruned one (the outer lock), mirroring the paper's observation that
+	// only locks enclosed by other locks are recoverable.
+	LockPairs int
+	// LoneLocks is the number of un-nested lock acquisitions. Each is a
+	// deadlock site with its own reexecution point and no lock inside its
+	// region, so the §4.2 optimization removes both — the dominant case
+	// in the paper's Table 6 (up to 91% of deadlock points pruned).
+	LoneLocks int
+
+	// SitesPerFunc splits the sites across generated functions (default
+	// 24) — many small functions, like real code.
+	SitesPerFunc int
+
+	// HotIters is how many times the hot function set runs per drive
+	// call; HotSites is how many dereference sites the hot path touches
+	// per iteration; Inner is the register-only compute per iteration
+	// (steps of useful work between checkpoints).
+	HotIters int
+	HotSites int
+	Inner    int
+	// HotPrunableAsserts places some of the prunable assertions on the
+	// hot path, so the optimization's effect is visible dynamically as
+	// well as statically (Table 6's dynamic columns). Counted against the
+	// Asserts and PrunableAsserts budgets.
+	HotPrunableAsserts int
+	// ColdOnce runs every generated cold function once per drive call
+	// (program startup shape) when true; otherwise ColdCalls of them are
+	// run once (partially exercised code, like a server start-up path).
+	ColdOnce  bool
+	ColdCalls int
+}
+
+func (s *WorkloadSpec) defaults() {
+	if s.Prefix == "" {
+		s.Prefix = "wl"
+	}
+	if s.SitesPerFunc <= 0 {
+		s.SitesPerFunc = 24
+	}
+	if s.HotIters < 0 {
+		s.HotIters = 0
+	}
+	if s.Inner <= 0 {
+		s.Inner = 64
+	}
+}
+
+// GenWorkload emits the workload into the builder and returns the name of
+// the generated driver function, which takes no parameters and executes
+// the whole workload when called. The caller wires it into the app's main
+// (or worker threads).
+//
+// Layout:
+//
+//	<p>_init()         allocates and fills the data buffer
+//	<p>_hot()          the hot loop: Inner compute + HotSites derefs/iter
+//	<p>_cold_<i>()     the cold functions carrying the remaining sites
+//	<p>_drive()        init + cold calls (once) + HotIters hot iterations
+func GenWorkload(b *mir.Builder, spec WorkloadSpec) string {
+	spec.defaults()
+	p := spec.Prefix
+
+	bufG := b.Global(p+"_buf", 0)
+	sinkG := b.Global(p+"_sink", 0)
+
+	// --- init: allocate the buffer, fill the first cells.
+	// Every store-through-pointer is a segfault site, so init absorbs
+	// bufInitStores of the Derefs budget.
+	bufWords := 16
+	bufInitStores := min(spec.Derefs/4+1, bufWords)
+	derefsLeft := spec.Derefs - bufInitStores
+	if derefsLeft < 0 {
+		bufInitStores += derefsLeft
+		derefsLeft = 0
+	}
+
+	f := b.Func(p + "_init")
+	h := f.Alloc("h", mir.Imm(mir.Word(bufWords)))
+	for i := 0; i < bufInitStores; i++ {
+		addr := f.Bin(fmt.Sprintf("a%d", i), mir.BinAdd, h, mir.Imm(mir.Word(i%bufWords)))
+		f.Store(addr, mir.Imm(mir.Word(i+1)))
+	}
+	f.StoreG(bufG, h)
+	f.Ret(mir.None)
+
+	// --- hot loop function: Inner register-only compute, then HotSites
+	// dereferences. The compute loop models the real work between shared
+	// accesses; its length sets the overhead ratio.
+	hot := b.Func(p + "_hot")
+	// inner compute: acc = acc*3+i over Inner iterations (6 instrs/iter).
+	hot.Const("acc", 1)
+	hot.Const("i", 0)
+	loop := hot.Label("loop")
+	t1 := hot.Bin("t1", mir.BinMul, hot.R("acc"), mir.Imm(3))
+	hot.Bin("acc", mir.BinAdd, t1, hot.R("i"))
+	hot.Bin("i", mir.BinAdd, hot.R("i"), mir.Imm(1))
+	cond := hot.Bin("c", mir.BinLt, hot.R("i"), mir.Imm(mir.Word(spec.Inner)))
+	body2 := hot.NewBlock("sites")
+	hot.Br(cond, loop, body2)
+	hot.SetBlock(body2)
+	hotDerefs := min(spec.HotSites, derefsLeft)
+	base := hot.LoadG("base", bufG)
+	for i := 0; i < hotDerefs; i++ {
+		addr := hot.Bin(fmt.Sprintf("p%d", i), mir.BinAdd, base, mir.Imm(mir.Word(i%bufWords)))
+		v := hot.Load(fmt.Sprintf("v%d", i), addr)
+		hot.Bin("acc", mir.BinXor, hot.R("acc"), v)
+		// Publish the running value: real hot loops interleave shared
+		// writes with their reads, which is what gives each dereference
+		// its own reexecution point (and hence one dynamic checkpoint per
+		// site per iteration, the shape of the paper's Table 5).
+		hot.StoreG(sinkG, hot.R("acc"))
+	}
+	derefsLeft -= hotDerefs
+	for i := 0; i < spec.HotPrunableAsserts; i++ {
+		c := hot.Bin(fmt.Sprintf("hp%d", i), mir.BinOr, mir.Imm(1), mir.Imm(0))
+		hot.Assert(c, "wl hot invariant (local)")
+		hot.StoreG(sinkG, hot.R("acc"))
+	}
+	hot.StoreG(sinkG, hot.R("acc"))
+	hot.Ret(mir.None)
+
+	// --- cold functions: distribute the remaining static sites.
+	assertsLeft := spec.Asserts - spec.HotPrunableAsserts
+	prunableLeft := spec.PrunableAsserts - spec.HotPrunableAsserts
+	outputsLeft := spec.Outputs
+	locksLeft := spec.LockPairs
+	lonesLeft := spec.LoneLocks
+
+	var coldNames []string
+	ci := 0
+	for derefsLeft > 0 || assertsLeft > 0 || outputsLeft > 0 || locksLeft > 0 || lonesLeft > 0 {
+		name := fmt.Sprintf("%s_cold_%d", p, ci)
+		coldNames = append(coldNames, name)
+		cf := b.Func(name)
+		budget := spec.SitesPerFunc
+		base := cf.LoadG("base", bufG)
+		var v mir.Operand
+		if derefsLeft > 0 {
+			v = cf.Load("v", base)
+			budget-- // the base dereference above is itself a site
+			derefsLeft--
+		} else {
+			// No dereference budget left: feed the asserts from a global
+			// read instead (loadg is not a failure site).
+			v = cf.LoadG("v", sinkG)
+		}
+		k := 0
+		emitAssert := func() {
+			if prunableLeft > 0 {
+				// Register-only condition with its own reexecution point
+				// (shared writes on both sides): no shared read on the
+				// slice, so the §4.2 optimization removes both the
+				// recovery code and the point (Figure 7c shape).
+				cf.StoreG(sinkG, v)
+				c := cf.Bin(fmt.Sprintf("pa%d", k), mir.BinOr, mir.Imm(1), mir.Imm(0))
+				cf.Assert(c, "wl invariant (local)")
+				cf.StoreG(sinkG, v)
+				prunableLeft--
+			} else {
+				// Depends on a fresh shared read, so the read is inside
+				// the assert's own reexecution region regardless of
+				// earlier shared writes: kept (Figure 7d).
+				kv := cf.LoadG(fmt.Sprintf("kv%d", k), sinkG)
+				c := cf.Bin(fmt.Sprintf("ka%d", k), mir.BinOr, kv, mir.Imm(1))
+				cf.Assert(c, "wl invariant")
+			}
+			assertsLeft--
+		}
+		for budget > 0 && (derefsLeft > 0 || assertsLeft > 0 || outputsLeft > 0 || locksLeft > 0 || lonesLeft > 0) {
+			if derefsLeft == 0 && assertsLeft == 0 && outputsLeft == 0 && lonesLeft == 0 && budget < 2 {
+				break // only lock pairs remain and they need budget 2
+			}
+			// Interleave site kinds the way real code mixes them: a few
+			// asserts, outputs and lock operations scattered among the
+			// pointer work, rather than phase-separated. The modulus
+			// gates fire periodically; exhausted kinds fall through to
+			// whatever remains.
+			switch {
+			case assertsLeft > 0 && k%3 == 1:
+				emitAssert()
+				budget--
+			case outputsLeft > 0 && k%5 == 2:
+				cf.Output("wl", v)
+				outputsLeft--
+				budget--
+			case lonesLeft > 0 && k%7 == 3:
+				cf.StoreG(sinkG, v)
+				mu := b.Global(fmt.Sprintf("%s_lkT_%d", p, lonesLeft), 0)
+				pl := cf.AddrG(fmt.Sprintf("pt%d", k), mu)
+				cf.Lock(pl)
+				cf.Unlock(pl)
+				lonesLeft--
+				budget--
+			case locksLeft > 0 && budget >= 2:
+				// Anchor the pair behind a shared write so the outer
+				// lock's region stops here (it is then pruned as
+				// unrecoverable, and being short it is also never
+				// selected for inter-procedural recovery) while the
+				// inner lock stays recoverable — the realistic nested-
+				// lock shape the paper's Table 4 deadlock column counts.
+				cf.StoreG(sinkG, v)
+				outer := b.Global(fmt.Sprintf("%s_lkA_%d", p, locksLeft), 0)
+				inner := b.Global(fmt.Sprintf("%s_lkB_%d", p, locksLeft), 0)
+				po := cf.AddrG(fmt.Sprintf("po%d", k), outer)
+				pi := cf.AddrG(fmt.Sprintf("pi%d", k), inner)
+				cf.Lock(po)
+				cf.Lock(pi)
+				cf.Unlock(pi)
+				cf.Unlock(po)
+				locksLeft--
+				budget -= 2
+			case lonesLeft > 0:
+				// An un-nested acquisition: its exclusive reexecution
+				// point (after the anchoring write) serves a site with no
+				// lock in its region, so the optimization removes both —
+				// the dominant deadlock-point case of Table 6.
+				cf.StoreG(sinkG, v)
+				mu := b.Global(fmt.Sprintf("%s_lkS_%d", p, lonesLeft), 0)
+				pl := cf.AddrG(fmt.Sprintf("pl%d", k), mu)
+				cf.Lock(pl)
+				cf.Unlock(pl)
+				lonesLeft--
+				budget--
+			case derefsLeft > 0:
+				addr := cf.Bin(fmt.Sprintf("q%d", k), mir.BinAdd, base, mir.Imm(mir.Word(k%bufWords)))
+				vv := cf.Load(fmt.Sprintf("w%d", k), addr)
+				cf.Bin("v", mir.BinXor, v, vv)
+				if k%2 == 1 {
+					// Interleaved shared writes split dereference runs
+					// into separate reexecution regions, approximating
+					// the paper's static point-per-site ratio.
+					cf.StoreG(sinkG, v)
+				}
+				derefsLeft--
+				budget--
+			case assertsLeft > 0:
+				emitAssert()
+				budget--
+			case outputsLeft > 0:
+				cf.Output("wl", v)
+				outputsLeft--
+				budget--
+			}
+			k++
+		}
+		cf.StoreG(sinkG, v)
+		cf.Ret(mir.None)
+		ci++
+	}
+
+	// --- driver.
+	d := b.Func(p + "_drive")
+	d.Call("", p+"_init")
+	coldRun := len(coldNames)
+	if !spec.ColdOnce {
+		coldRun = min(spec.ColdCalls, len(coldNames))
+	}
+	for _, cn := range coldNames[:coldRun] {
+		d.Call("", cn)
+	}
+	if spec.HotIters > 0 {
+		d.Const("n", 0)
+		dl := d.Label("dloop")
+		d.Call("", p+"_hot")
+		d.Bin("n", mir.BinAdd, d.R("n"), mir.Imm(1))
+		dc := d.Bin("dc", mir.BinLt, d.R("n"), mir.Imm(mir.Word(spec.HotIters)))
+		out := d.NewBlock("dout")
+		d.Br(dc, dl, out)
+		d.SetBlock(out)
+	}
+	d.Ret(mir.None)
+	return p + "_drive"
+}

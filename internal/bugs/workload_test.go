@@ -1,0 +1,170 @@
+package bugs
+
+import (
+	"fmt"
+	"testing"
+
+	"conair/internal/analysis"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// buildWorkload wraps a spec in a minimal main.
+func buildWorkload(t *testing.T, spec WorkloadSpec) *mir.Module {
+	t.Helper()
+	b := mir.NewBuilder("wl-test")
+	drive := GenWorkload(b, spec)
+	m := b.Func("main")
+	m.Call("", drive)
+	m.Ret(mir.Imm(0))
+	mod, err := b.Module()
+	if err != nil {
+		t.Fatalf("spec %+v: %v", spec, err)
+	}
+	return mod
+}
+
+// The generator must hit its static site budgets exactly — the whole
+// Table 4 reproduction rests on this arithmetic.
+func TestWorkloadCensusExact(t *testing.T) {
+	specs := []WorkloadSpec{
+		{Prefix: "a", Derefs: 10, Asserts: 3, Outputs: 2},
+		{Prefix: "b", Derefs: 100, Asserts: 20, PrunableAsserts: 5, Outputs: 17, LockPairs: 3},
+		{Prefix: "c", Derefs: 5, LockPairs: 1, LoneLocks: 4},
+		{Prefix: "d", Derefs: 0, Asserts: 7, Outputs: 0},
+		{Prefix: "e", Derefs: 33, Asserts: 0, Outputs: 50, LoneLocks: 2},
+		{Prefix: "f", Derefs: 400, Asserts: 40, PrunableAsserts: 40, Outputs: 12,
+			LockPairs: 6, LoneLocks: 9, HotSites: 8, HotIters: 3, HotPrunableAsserts: 4},
+		{Prefix: "g", Derefs: 1, Asserts: 1, Outputs: 1},
+	}
+	for i, spec := range specs {
+		spec := spec
+		t.Run(fmt.Sprintf("spec%d", i), func(t *testing.T) {
+			m := buildWorkload(t, spec)
+			var c analysis.Census
+			for _, s := range analysis.IdentifySurvival(m) {
+				c.Add(s.Kind)
+			}
+			if c.Segfault != spec.Derefs {
+				t.Errorf("segfault sites = %d, want %d", c.Segfault, spec.Derefs)
+			}
+			if c.Assert != spec.Asserts {
+				t.Errorf("assert sites = %d, want %d", c.Assert, spec.Asserts)
+			}
+			if c.WrongOutput != spec.Outputs {
+				t.Errorf("output sites = %d, want %d", c.WrongOutput, spec.Outputs)
+			}
+			wantLocks := 2*spec.LockPairs + spec.LoneLocks
+			if c.Deadlock != wantLocks {
+				t.Errorf("raw deadlock sites = %d, want %d", c.Deadlock, wantLocks)
+			}
+		})
+	}
+}
+
+// Exactly one deadlock site per nested pair survives pruning; lone locks
+// are all pruned.
+func TestWorkloadDeadlockPruning(t *testing.T) {
+	spec := WorkloadSpec{Prefix: "w", Derefs: 30, LockPairs: 4, LoneLocks: 7}
+	m := buildWorkload(t, spec)
+	res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for i := range res.Sites {
+		if res.Sites[i].Site.Kind == analysis.SiteDeadlock && res.Sites[i].Recovers() {
+			kept++
+		}
+	}
+	if kept != spec.LockPairs {
+		t.Errorf("kept deadlock sites = %d, want %d (one per pair)", kept, spec.LockPairs)
+	}
+}
+
+// Prunable asserts really are pruned, and only they.
+func TestWorkloadPrunableAsserts(t *testing.T) {
+	spec := WorkloadSpec{Prefix: "w", Derefs: 10, Asserts: 12, PrunableAsserts: 5}
+	m := buildWorkload(t, spec)
+	res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := 0
+	for i := range res.Sites {
+		sa := &res.Sites[i]
+		if sa.Site.Kind == analysis.SiteAssert && sa.Verdict == analysis.PruneNoSharedRead {
+			pruned++
+		}
+	}
+	if pruned != spec.PrunableAsserts {
+		t.Errorf("pruned asserts = %d, want %d", pruned, spec.PrunableAsserts)
+	}
+}
+
+// The generated workload must run cleanly (it is the overhead baseline),
+// and its dynamic checkpoint count must equal HotIters*(HotSites+
+// HotPrunableAsserts... without optimization the prunable ones count too)
+// in the hot loop plus the cold-once contribution.
+func TestWorkloadRunsCleanAndHotDynamics(t *testing.T) {
+	spec := WorkloadSpec{
+		Prefix: "w", Derefs: 40, Asserts: 4, Outputs: 3,
+		HotSites: 6, HotIters: 10, Inner: 20, ColdOnce: true,
+	}
+	m := buildWorkload(t, spec)
+	r := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1)})
+	if !r.Completed {
+		t.Fatalf("workload run failed: %v", r.Failure)
+	}
+
+	res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	h := hardenModule(t, m)
+	hr := interp.RunModule(h, interp.Config{Sched: sched.NewRandom(1)})
+	if !hr.Completed {
+		t.Fatalf("hardened workload failed: %v", hr.Failure)
+	}
+	// Each hot dereference owns a checkpoint executed once per iteration.
+	minHot := int64(spec.HotIters * spec.HotSites)
+	if hr.Stats.Checkpoints < minHot {
+		t.Errorf("dynamic checkpoints = %d, want >= %d from the hot loop",
+			hr.Stats.Checkpoints, minHot)
+	}
+	if hr.Stats.Rollbacks != 0 {
+		t.Errorf("clean workload rolled back %d times", hr.Stats.Rollbacks)
+	}
+}
+
+func hardenModule(t *testing.T, m *mir.Module) *mir.Module {
+	t.Helper()
+	h, err := core.Harden(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.Module
+}
+
+// ColdCalls limits which cold functions execute.
+func TestWorkloadColdCalls(t *testing.T) {
+	specAll := WorkloadSpec{Prefix: "w", Derefs: 120, ColdOnce: true}
+	specNone := WorkloadSpec{Prefix: "w", Derefs: 120, ColdOnce: false}
+	specSome := WorkloadSpec{Prefix: "w", Derefs: 120, ColdOnce: false, ColdCalls: 2}
+
+	steps := func(spec WorkloadSpec) int64 {
+		m := buildWorkload(t, spec)
+		r := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1)})
+		if !r.Completed {
+			t.Fatalf("run failed: %v", r.Failure)
+		}
+		return r.Stats.Steps
+	}
+	all, none, some := steps(specAll), steps(specNone), steps(specSome)
+	if !(none < some && some < all) {
+		t.Errorf("cold execution ordering broken: none=%d some=%d all=%d", none, some, all)
+	}
+}

@@ -1,0 +1,84 @@
+package bugs
+
+import (
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// ZSNES — SNES game console emulator.
+//
+// Root cause: an order violation on the video-initialization flag. The
+// render thread asserts the video subsystem is initialized; under the
+// buggy interleaving the init thread has not yet set the flag. Recovery
+// rolls the render thread back over the flag read until initialization
+// lands.
+func init() {
+	register(&Bug{
+		Name:      "ZSNES",
+		AppType:   "Game console emulator",
+		RootCause: "O Vio.",
+		Symptom:   mir.FailAssert,
+		Paper: PaperNumbers{
+			LOC:            "37K",
+			Sites:          analysis.Census{Assert: 1, WrongOutput: 50, Segfault: 331, Deadlock: 0},
+			ReexecStatic:   321,
+			ReexecDynamic:  32,
+			OverheadPct:    0.0,
+			RecoveryMicros: 1022,
+			Retries:        123,
+			RestartMicros:  8643,
+		},
+		FixFunc: "renderer",
+		FixOp:   mir.OpAssert,
+		FixNth:  0,
+		build:   buildZSNES,
+	})
+}
+
+func buildZSNES(cfg Config) *mir.Module {
+	b := mir.NewBuilder("ZSNES")
+	ginit := b.Global("video_init", 0)
+	frames := b.Global("frames", 0)
+
+	// Render thread: requires the video subsystem.
+	r := b.Func("renderer")
+	v := r.LoadG("v", ginit)
+	r.Assert(v, "video must be initialized before rendering")
+	n := r.LoadG("n", frames)
+	n1 := r.Bin("n1", mir.BinAdd, n, mir.Imm(1))
+	r.StoreG(frames, n1)
+	r.Ret(mir.None)
+
+	// Video init thread.
+	iv := b.Func("initvideo")
+	if cfg.ForceBug {
+		iv.Sleep(mir.Imm(620))
+	}
+	iv.StoreG(ginit, mir.Imm(1))
+	iv.Ret(mir.None)
+
+	// Emulator workload (Table 4: 1/50/331/0; the single assert is the
+	// renderer's own).
+	drive := GenWorkload(b, WorkloadSpec{
+		Prefix: "zs",
+		Derefs: 331, Outputs: 50,
+		HotSites: 0, HotIters: scaleIters(cfg, 120), Inner: 250,
+		ColdOnce: false,
+	})
+
+	m := b.Func("main")
+	m.Call("", drive)
+	if cfg.ForceBug {
+		ti := m.Spawn("ti", "initvideo")
+		tr := m.Spawn("tr", "renderer")
+		m.Join(tr)
+		m.Join(ti)
+	} else {
+		ti := m.Spawn("ti", "initvideo")
+		m.Join(ti)
+		tr := m.Spawn("tr", "renderer")
+		m.Join(tr)
+	}
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

@@ -1,0 +1,161 @@
+// Package core orchestrates the ConAir pipeline: failure-site
+// identification, reexecution-point identification, optimization,
+// inter-procedural selection (internal/analysis) and code transformation
+// (internal/transform), producing a hardened module plus a machine-readable
+// report. Every table of the paper's evaluation is a projection of these
+// reports combined with interpreter run statistics.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"conair/internal/analysis"
+	"conair/internal/mir"
+	"conair/internal/transform"
+)
+
+// Options configures a hardening run.
+type Options struct {
+	// Mode selects survival (harden everything) or fix (one known site).
+	Mode analysis.Mode
+	// FixSite names the failing statement in fix mode.
+	FixSite mir.Pos
+	// Policy selects basic (§3.2) or extended (§4.1) regions; the default
+	// is extended, the paper's evaluated configuration.
+	Policy mir.RegionPolicy
+	// Optimize toggles §4.2 pruning (default on).
+	Optimize bool
+	// Interproc toggles §4.3 inter-procedural recovery (default on).
+	Interproc bool
+	// InterprocDepth bounds caller levels (default 3).
+	InterprocDepth int
+	// GuardOutputs pre-inserts an automatic output-correctness oracle
+	// before every output of a register value (the paper's fputs null-
+	// parameter guard, §3.4), making wrong-output sites recoverable
+	// without developer annotations.
+	GuardOutputs bool
+	// PruneSafeSites drops dereference sites the static prover shows can
+	// never fault (§3.4).
+	PruneSafeSites bool
+	// Transform tunes the planted recovery code.
+	Transform transform.Options
+}
+
+// DefaultOptions is the paper's evaluated configuration in survival mode.
+func DefaultOptions() Options {
+	return Options{
+		Mode:           analysis.Survival,
+		Policy:         mir.PolicyExtended,
+		Optimize:       true,
+		Interproc:      true,
+		InterprocDepth: analysis.DefaultInterprocDepth,
+	}
+}
+
+// FixOptions is the paper's configuration in fix mode for one site.
+func FixOptions(site mir.Pos) Options {
+	o := DefaultOptions()
+	o.Mode = analysis.Fix
+	o.FixSite = site
+	return o
+}
+
+// Report summarizes what hardening did — the static-side numbers of
+// Tables 4, 5 and 6 and §6.4.
+type Report struct {
+	Module string
+	Mode   analysis.Mode
+	// Census is the per-kind potential-failure-site count (Table 4).
+	Census analysis.Census
+	// StaticReexecPoints is the number of planted checkpoints (Table 5,
+	// "Static").
+	StaticReexecPoints int
+	// StaticDeadlockPoints / StaticNonDeadlockPoints classify planted
+	// checkpoints by the site kinds they serve (a shared point can count
+	// in both; Table 6 reports the two classes separately).
+	StaticDeadlockPoints    int
+	StaticNonDeadlockPoints int
+	// RecoverySites counts sites with planted recovery code.
+	RecoverySites int
+	// PrunedSites counts sites removed by the §4.2 optimization.
+	PrunedSites int
+	// InterprocSites counts sites recovered inter-procedurally.
+	InterprocSites int
+	// AnalysisTime is the static-analysis wall time (§6.4).
+	AnalysisTime time.Duration
+	// TransformTime is the rewrite wall time.
+	TransformTime time.Duration
+	// Analysis retains the full per-site results for drill-down.
+	Analysis *analysis.Result
+}
+
+// Hardened bundles the transformed module with its report.
+type Hardened struct {
+	Module *mir.Module
+	Report Report
+}
+
+// Harden runs the full ConAir pipeline on m. The input module is not
+// modified.
+func Harden(m *mir.Module, opts Options) (*Hardened, error) {
+	if err := mir.Verify(m); err != nil {
+		return nil, fmt.Errorf("conair: input module invalid: %w", err)
+	}
+	if opts.GuardOutputs {
+		// The guard pass inserts oracle assertions, shifting positions;
+		// it is incompatible with a fix-mode site named against the
+		// unguarded program.
+		if opts.Mode == analysis.Fix {
+			return nil, fmt.Errorf("conair: GuardOutputs is a survival-mode option (fix-mode sites are positions in the unguarded program)")
+		}
+		m = transform.GuardOutputs(m)
+	}
+	aopts := analysis.Options{
+		Mode:           opts.Mode,
+		FixSite:        opts.FixSite,
+		Policy:         opts.Policy,
+		Optimize:       opts.Optimize,
+		Interproc:      opts.Interproc,
+		InterprocDepth: opts.InterprocDepth,
+		PruneSafeSites: opts.PruneSafeSites,
+	}
+	res, err := analysis.Analyze(m, aopts)
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	out := transform.Apply(m, res, opts.Transform)
+	transformTime := time.Since(t0)
+
+	if err := mir.Verify(out); err != nil {
+		return nil, fmt.Errorf("conair: transformed module invalid (internal error): %w", err)
+	}
+
+	rep := Report{
+		Module:             m.Name,
+		Mode:               opts.Mode,
+		Census:             res.Census,
+		StaticReexecPoints: res.StaticReexecPoints(),
+		PrunedSites:        res.PrunedSites,
+		InterprocSites:     res.InterprocSites,
+		AnalysisTime:       res.Duration,
+		TransformTime:      transformTime,
+		Analysis:           res,
+	}
+	for _, cp := range res.Checkpoints {
+		if cp.ServesDeadlock {
+			rep.StaticDeadlockPoints++
+		}
+		if cp.ServesNonDeadlock {
+			rep.StaticNonDeadlockPoints++
+		}
+	}
+	for i := range res.Sites {
+		if res.Sites[i].Recovers() {
+			rep.RecoverySites++
+		}
+	}
+	return &Hardened{Module: out, Report: rep}, nil
+}

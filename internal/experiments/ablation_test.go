@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+// Each design choice must be load-bearing for the bugs that exercise it.
+func TestAblations(t *testing.T) {
+	rows := Ablations(3)
+	get := func(cfg, app string) AblationRow {
+		t.Helper()
+		for _, r := range rows {
+			if r.Config == cfg && r.App == app {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", cfg, app)
+		return AblationRow{}
+	}
+	def := "default(extended+interproc+optimize)"
+	basic := "basic-regions(no-§4.1)"
+	noIP := "no-interproc(no-§4.3)"
+	noOpt := "no-optimize(no-§4.2)"
+
+	// The default configuration recovers everything.
+	for _, app := range ablationApps {
+		if !get(def, app).Recovered {
+			t.Errorf("default config must recover %s", app)
+		}
+	}
+
+	// Basic regions cannot recover deadlocks (no lock fits in a region).
+	if get(basic, "HawkNL").Recovered {
+		t.Error("basic-region policy must not recover the HawkNL deadlock")
+	}
+	// But it still recovers the RAR atomicity violation (read-only region).
+	if !get(basic, "MySQL2").Recovered {
+		t.Error("basic-region policy should still recover MySQL2")
+	}
+
+	// Without inter-procedural recovery the parameter-dependent bugs are
+	// unrecoverable (the reexecuted region sees the same stale argument).
+	for _, app := range []string{"MozillaXP", "Transmission"} {
+		if get(noIP, app).Recovered {
+			t.Errorf("no-interproc must not recover %s", app)
+		}
+		if !get(def, app).Recovered {
+			t.Errorf("default must recover %s", app)
+		}
+	}
+	// The deadlock does not need inter-procedural recovery.
+	if !get(noIP, "HawkNL").Recovered {
+		t.Error("HawkNL should recover without interproc")
+	}
+
+	// Disabling the optimization never loses recovery, but plants at
+	// least as many reexecution points.
+	for _, app := range ablationApps {
+		if !get(noOpt, app).Recovered {
+			t.Errorf("no-optimize must still recover %s", app)
+		}
+		if get(noOpt, app).StaticPoints < get(def, app).StaticPoints {
+			t.Errorf("%s: optimization should only remove points (%d < %d)",
+				app, get(noOpt, app).StaticPoints, get(def, app).StaticPoints)
+		}
+	}
+}

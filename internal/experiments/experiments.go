@@ -1,0 +1,511 @@
+// Package experiments regenerates every table and figure of the ConAir
+// evaluation (paper §5–§6) from the reconstructed benchmarks:
+//
+//	Table 2  — applications and bugs
+//	Table 3  — recovery success and run-time overhead (fix & survival)
+//	Table 4  — static failure sites hardened, by category
+//	Table 5  — reexecution points, static and dynamic, survival & fix
+//	Table 6  — fraction of reexecution points removed by the optimization
+//	Table 7  — recovery time, retries, and restart comparison
+//	Figure 2 — the four atomicity-violation patterns
+//	Figure 4 — the reexecution-region design-space trade-off
+//	§6.4     — static analysis time (with and without inter-procedural)
+//
+// Measurements are deterministic: virtual time is interpreter steps, and
+// schedulers are seeded. Wall-clock conversions use each run's own
+// measured step rate.
+package experiments
+
+import (
+	"time"
+
+	"conair/internal/analysis"
+	"conair/internal/baseline"
+	"conair/internal/bugs"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// runCfg returns the standard interpreter config for experiment runs.
+func runCfg(seed int64) interp.Config {
+	return interp.Config{Sched: sched.NewRandom(seed), MaxSteps: 200_000_000}
+}
+
+// hardenOpts is the paper's evaluated configuration; the deadlock timeout
+// and backoff are the transform defaults.
+func hardenOpts() core.Options { return core.DefaultOptions() }
+
+func mustHarden(m *mir.Module, opts core.Options) *core.Hardened {
+	h, err := core.Harden(m, opts)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row describes one application (paper Table 2).
+type Table2Row struct {
+	Name      string
+	AppType   string
+	PaperLOC  string
+	MIRInstrs int // reconstruction size, the analogue of LOC
+	Failure   string
+	Cause     string
+}
+
+// Table2 regenerates Table 2.
+func Table2() []Table2Row {
+	var out []Table2Row
+	for _, b := range bugs.All() {
+		m := b.Program(bugs.Config{ForceBug: true})
+		out = append(out, Table2Row{
+			Name:      b.Name,
+			AppType:   b.AppType,
+			PaperLOC:  b.Paper.LOC,
+			MIRInstrs: m.NumInstrs(),
+			Failure:   b.Symptom.String(),
+			Cause:     b.RootCause,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row reports recovery success and overhead for one app.
+type Table3Row struct {
+	Name string
+	// RecoveredFix / RecoveredSurvival: all forced runs completed.
+	RecoveredFix, RecoveredSurvival bool
+	// Conditional marks the wrong-output bugs whose recovery needed the
+	// developer oracle (the paper's "Xc").
+	Conditional bool
+	// Runs is how many forced runs each mode was tested with;
+	// OverheadSeeds how many scheduler seeds the overheads average over
+	// (the paper averages 20 wall-clock runs).
+	Runs, OverheadSeeds int
+	// Overheads are step-count ratios measured on failure-free full-scale
+	// runs (hardened vs original), averaged per seed.
+	OverheadFixPct, OverheadSurvivalPct float64
+	// PaperOverheadPct is the published survival overhead.
+	PaperOverheadPct float64
+}
+
+// Table3 regenerates Table 3. runs is the number of forced-failure runs
+// per mode (the paper used 1000); overheadSeeds the number of scheduler
+// seeds overhead is averaged over (the paper used 20 runs).
+func Table3(runs, overheadSeeds int) []Table3Row {
+	if overheadSeeds < 1 {
+		overheadSeeds = 1
+	}
+	var out []Table3Row
+	for _, b := range bugs.All() {
+		row := Table3Row{
+			Name:             b.Name,
+			Conditional:      b.NeedsOracle,
+			Runs:             runs,
+			OverheadSeeds:    overheadSeeds,
+			PaperOverheadPct: b.Paper.OverheadPct,
+		}
+
+		// Recovery: forced, light workload (recovery behaviour does not
+		// depend on workload volume), `runs` seeds per mode.
+		forced := b.Program(bugs.Config{Light: true, ForceBug: true})
+		fixPos, err := b.FixSite(forced)
+		if err != nil {
+			panic(err)
+		}
+		hFix := mustHarden(forced, core.FixOptions(fixPos))
+		hSurv := mustHarden(forced, hardenOpts())
+		row.RecoveredFix = allRecover(hFix.Module, runs)
+		row.RecoveredSurvival = allRecover(hSurv.Module, runs)
+
+		// Overhead: failure-free, full workload, deterministic steps,
+		// averaged over scheduler seeds.
+		clean := b.Program(bugs.Config{})
+		cleanFixPos, err := b.FixSite(clean)
+		if err != nil {
+			panic(err)
+		}
+		fixMod := mustHarden(clean, core.FixOptions(cleanFixPos)).Module
+		survMod := mustHarden(clean, hardenOpts()).Module
+		var fixSum, survSum float64
+		for seed := int64(1); seed <= int64(overheadSeeds); seed++ {
+			orig := interp.RunModule(clean, runCfg(seed)).Stats.Steps
+			fixed := interp.RunModule(fixMod, runCfg(seed)).Stats.Steps
+			surv := interp.RunModule(survMod, runCfg(seed)).Stats.Steps
+			fixSum += 100 * float64(fixed-orig) / float64(orig)
+			survSum += 100 * float64(surv-orig) / float64(orig)
+		}
+		row.OverheadFixPct = fixSum / float64(overheadSeeds)
+		row.OverheadSurvivalPct = survSum / float64(overheadSeeds)
+		out = append(out, row)
+	}
+	return out
+}
+
+func allRecover(m *mir.Module, runs int) bool {
+	for seed := 0; seed < runs; seed++ {
+		r := interp.RunModule(m, runCfg(int64(seed)))
+		if !r.Completed {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// Table4Row is the per-app failure-site census.
+type Table4Row struct {
+	Name string
+	// Measured counts: assert/wrong-output/segfault are identified sites;
+	// Deadlock counts sites kept after the §4.2 pruning (the paper's
+	// table counts hardened deadlock sites).
+	Assert, WrongOutput, Segfault, Deadlock, Total int
+	Paper                                          analysis.Census
+}
+
+// Table4 regenerates Table 4.
+func Table4() []Table4Row {
+	var out []Table4Row
+	for _, b := range bugs.All() {
+		m := b.Program(bugs.Config{Light: true, ForceBug: true})
+		res, err := analysis.Analyze(m, analysis.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		keptDeadlock := 0
+		for i := range res.Sites {
+			if res.Sites[i].Site.Kind == analysis.SiteDeadlock && res.Sites[i].Recovers() {
+				keptDeadlock++
+			}
+		}
+		out = append(out, Table4Row{
+			Name:        b.Name,
+			Assert:      res.Census.Assert,
+			WrongOutput: res.Census.WrongOutput,
+			Segfault:    res.Census.Segfault,
+			Deadlock:    keptDeadlock,
+			Total:       res.Census.Assert + res.Census.WrongOutput + res.Census.Segfault + keptDeadlock,
+			Paper:       b.Paper.Sites,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Table 5
+
+// Table5Row reports reexecution points per app.
+type Table5Row struct {
+	Name string
+	// Static: checkpoints planted. Dynamic: checkpoint executions in a
+	// failure-free full-workload run.
+	SurvivalStatic, FixStatic   int
+	SurvivalDynamic, FixDynamic int64
+	PaperStatic                 int
+	PaperDynamic                int
+}
+
+// Table5 regenerates Table 5.
+func Table5() []Table5Row {
+	var out []Table5Row
+	for _, b := range bugs.All() {
+		m := b.Program(bugs.Config{})
+		pos, err := b.FixSite(m)
+		if err != nil {
+			panic(err)
+		}
+		hSurv := mustHarden(m, hardenOpts())
+		hFix := mustHarden(m, core.FixOptions(pos))
+		rs := interp.RunModule(hSurv.Module, runCfg(1))
+		rf := interp.RunModule(hFix.Module, runCfg(1))
+		out = append(out, Table5Row{
+			Name:            b.Name,
+			SurvivalStatic:  hSurv.Report.StaticReexecPoints,
+			FixStatic:       hFix.Report.StaticReexecPoints,
+			SurvivalDynamic: rs.Stats.Checkpoints,
+			FixDynamic:      rf.Stats.Checkpoints,
+			PaperStatic:     b.Paper.ReexecStatic,
+			PaperDynamic:    b.Paper.ReexecDynamic,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Table 6
+
+// Table6Row reports the optimization's effect on reexecution points.
+type Table6Row struct {
+	Name string
+	// Percentages of reexecution points removed by the §4.2 pruning,
+	// split by the site class a point serves; -1 when the unoptimized
+	// count is zero (the paper's N/A).
+	NonDeadlockStaticPct, NonDeadlockDynamicPct float64
+	DeadlockStaticPct, DeadlockDynamicPct       float64
+}
+
+// Table6 regenerates Table 6 by hardening each app with the optimization
+// on and off and comparing static plants and dynamic executions.
+func Table6() []Table6Row {
+	var out []Table6Row
+	for _, b := range bugs.All() {
+		m := b.Program(bugs.Config{Light: true})
+		optOn := hardenOpts()
+		optOff := hardenOpts()
+		optOff.Optimize = false
+		hOn := mustHarden(m, optOn)
+		hOff := mustHarden(m, optOff)
+
+		staticOnD, staticOnN := hOn.Report.StaticDeadlockPoints, hOn.Report.StaticNonDeadlockPoints
+		staticOffD, staticOffN := hOff.Report.StaticDeadlockPoints, hOff.Report.StaticNonDeadlockPoints
+
+		dynOnD, dynOnN := dynamicByClass(hOn, 1)
+		dynOffD, dynOffN := dynamicByClass(hOff, 1)
+
+		out = append(out, Table6Row{
+			Name:                  b.Name,
+			NonDeadlockStaticPct:  removedPct(staticOffN, staticOnN),
+			NonDeadlockDynamicPct: removedPct64(dynOffN, dynOnN),
+			DeadlockStaticPct:     removedPct(staticOffD, staticOnD),
+			DeadlockDynamicPct:    removedPct64(dynOffD, dynOnD),
+		})
+	}
+	return out
+}
+
+func removedPct(off, on int) float64 {
+	if off == 0 {
+		return -1
+	}
+	return 100 * float64(off-on) / float64(off)
+}
+
+func removedPct64(off, on int64) float64 {
+	if off == 0 {
+		return -1
+	}
+	return 100 * float64(off-on) / float64(off)
+}
+
+// dynamicByClass runs the hardened module and splits checkpoint
+// executions by the class of sites each checkpoint serves.
+func dynamicByClass(h *core.Hardened, seed int64) (deadlock, nonDeadlock int64) {
+	r := interp.RunModule(h.Module, runCfg(seed))
+	for _, cp := range h.Report.Analysis.Checkpoints {
+		n := r.Stats.CheckpointExecs[cp.ID]
+		if cp.ServesDeadlock {
+			deadlock += n
+		}
+		if cp.ServesNonDeadlock {
+			nonDeadlock += n
+		}
+	}
+	return deadlock, nonDeadlock
+}
+
+// ---------------------------------------------------------------- Table 7
+
+// Table7Row reports failure recovery cost versus whole-program restart.
+type Table7Row struct {
+	Name string
+	// RecoverySteps is the longest recovered episode in the forced run
+	// (virtual steps); Retries its rollback count.
+	RecoverySteps int64
+	Retries       int64
+	// RestartSteps is work-lost-plus-rerun for restart recovery on the
+	// full workload.
+	RestartSteps int64
+	// Speedup = RestartSteps / RecoverySteps.
+	Speedup float64
+	// Paper comparison (microseconds / retries / microseconds).
+	PaperRecoveryMicros, PaperRetries, PaperRestartMicros int64
+}
+
+// Table7 regenerates Table 7.
+func Table7() []Table7Row {
+	var out []Table7Row
+	for _, b := range bugs.All() {
+		// Recovery: forced light run under fix-mode hardening.
+		forced := b.Program(bugs.Config{Light: true, ForceBug: true})
+		pos, err := b.FixSite(forced)
+		if err != nil {
+			panic(err)
+		}
+		h := mustHarden(forced, core.FixOptions(pos))
+		r := interp.RunModule(h.Module, runCfg(7))
+		var recSteps, retries int64
+		if e := r.MaxEpisode(); e != nil {
+			recSteps, retries = e.Duration(), e.Retries
+		}
+
+		// Restart: full-workload forced failure + full clean rerun.
+		failing := b.Program(bugs.Config{ForceBug: true})
+		clean := b.Program(bugs.Config{})
+		rr := baseline.Restart(failing, clean, 7, 200_000_000)
+
+		row := Table7Row{
+			Name:                b.Name,
+			RecoverySteps:       recSteps,
+			Retries:             retries,
+			RestartSteps:        rr.TotalSteps,
+			PaperRecoveryMicros: b.Paper.RecoveryMicros,
+			PaperRetries:        b.Paper.Retries,
+			PaperRestartMicros:  b.Paper.RestartMicros,
+		}
+		if recSteps > 0 {
+			row.Speedup = float64(rr.TotalSteps) / float64(recSteps)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+// Figure2Row reports one atomicity-violation pattern.
+type Figure2Row struct {
+	Pattern string
+	// FailsUnprotected: the forced interleaving breaks the plain program.
+	FailsUnprotected bool
+	// ConAirRecovered / PaperSaysRecoverable: measured vs §2.2 taxonomy.
+	ConAirRecovered      bool
+	PaperSaysRecoverable bool
+	// CheckpointRecovered: the whole-state baseline's result.
+	CheckpointRecovered bool
+}
+
+// Figure2 regenerates the Figure 2 pattern study.
+func Figure2() []Figure2Row {
+	var out []Figure2Row
+	for _, p := range bugs.Figure2Patterns() {
+		m := p.Build()
+		row := Figure2Row{Pattern: p.Name, PaperSaysRecoverable: p.ConAirRecovers}
+		row.FailsUnprotected = !interp.RunModule(m, runCfg(1)).Completed
+
+		h := mustHarden(m, hardenOpts())
+		row.ConAirRecovered = true
+		for seed := int64(0); seed < 10; seed++ {
+			if !interp.RunModule(h.Module, runCfg(seed)).Completed {
+				row.ConAirRecovered = false
+				break
+			}
+		}
+		cb := baseline.RunCheckpointed(m, baseline.CheckpointConfig{
+			Interval: 25, Seed: 5, PerturbBound: 400, MaxSteps: 5_000_000,
+		})
+		row.CheckpointRecovered = cb.Completed
+		out = append(out, row)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Figure4Row is one point on the reexecution-region design spectrum.
+type Figure4Row struct {
+	Design string
+	// OverheadPct on a failure-free run.
+	OverheadPct float64
+	// RecoverySteps to survive the forced failure (0 = not recovered).
+	RecoverySteps int64
+	Recovered     bool
+}
+
+// Figure4 measures the trade-off sketched in the paper's Figure 4 on one
+// representative app (ZSNES): ConAir's idempotent regions at the cheap
+// end, whole-program checkpointing at several intervals, and restart.
+func Figure4() []Figure4Row {
+	b := bugs.ByName("ZSNES")
+	clean := b.Program(bugs.Config{})
+	forced := b.Program(bugs.Config{Light: true, ForceBug: true})
+	origSteps := interp.RunModule(clean, runCfg(1)).Stats.Steps
+
+	var out []Figure4Row
+
+	// ConAir.
+	hClean := mustHarden(clean, hardenOpts())
+	hForced := mustHarden(forced, hardenOpts())
+	hardSteps := interp.RunModule(hClean.Module, runCfg(1)).Stats.Steps
+	rf := interp.RunModule(hForced.Module, runCfg(7))
+	var rec int64
+	if e := rf.MaxEpisode(); e != nil {
+		rec = e.Duration()
+	}
+	out = append(out, Figure4Row{
+		Design:        "conair-idempotent-regions",
+		OverheadPct:   100 * float64(hardSteps-origSteps) / float64(origSteps),
+		RecoverySteps: rec,
+		Recovered:     rf.Completed,
+	})
+
+	// Whole-program checkpointing at decreasing density.
+	for _, interval := range []int64{1_000, 10_000, 100_000} {
+		cfg := baseline.CheckpointConfig{Interval: interval, Seed: 5, PerturbBound: 1200, MaxSteps: 100_000_000}
+		cb := baseline.RunCheckpointed(clean, cfg)
+		fb := baseline.RunCheckpointed(forced, cfg)
+		out = append(out, Figure4Row{
+			Design:        "full-checkpoint-every-" + itoa(interval),
+			OverheadPct:   100 * float64(cb.Steps-origSteps) / float64(origSteps),
+			RecoverySteps: fb.RecoverySteps,
+			Recovered:     fb.Completed,
+		})
+	}
+
+	// Whole-program restart.
+	rr := baseline.Restart(b.Program(bugs.Config{ForceBug: true}), clean, 7, 200_000_000)
+	out = append(out, Figure4Row{
+		Design:        "whole-program-restart",
+		OverheadPct:   0,
+		RecoverySteps: rr.TotalSteps,
+		Recovered:     rr.Recovered,
+	})
+	return out
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// ------------------------------------------------------------- §6.4 times
+
+// AnalysisTimeRow reports static-analysis wall time per app.
+type AnalysisTimeRow struct {
+	Name      string
+	Intra     time.Duration // interprocedural analysis disabled
+	Full      time.Duration // the default configuration
+	Transform time.Duration
+}
+
+// AnalysisTimes regenerates the §6.4 analysis-time measurements.
+func AnalysisTimes() []AnalysisTimeRow {
+	var out []AnalysisTimeRow
+	for _, b := range bugs.All() {
+		m := b.Program(bugs.Config{Light: true})
+		intraOpts := hardenOpts()
+		intraOpts.Interproc = false
+		hIntra := mustHarden(m, intraOpts)
+		hFull := mustHarden(m, hardenOpts())
+		out = append(out, AnalysisTimeRow{
+			Name:      b.Name,
+			Intra:     hIntra.Report.AnalysisTime,
+			Full:      hFull.Report.AnalysisTime,
+			Transform: hFull.Report.TransformTime,
+		})
+	}
+	return out
+}

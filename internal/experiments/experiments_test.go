@@ -1,0 +1,95 @@
+package experiments
+
+import "testing"
+
+// The experiment runners are exercised end-to-end by cmd/conair-bench;
+// these tests pin the cheap invariants so refactors cannot silently break
+// the harness. The heavyweight sweeps (Tables 3/5/7 on full workloads)
+// are covered by the benchmarks.
+
+func TestTable2Complete(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.MIRInstrs <= 0 || r.Name == "" || r.Failure == "" || r.Cause == "" {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	// Relative app sizes must track the paper's: MySQL biggest, FFT and
+	// HawkNL smallest.
+	size := map[string]int{}
+	for _, r := range rows {
+		size[r.Name] = r.MIRInstrs
+	}
+	if size["MySQL1"] < size["HTTrack"] || size["HTTrack"] < size["ZSNES"] ||
+		size["ZSNES"] < size["HawkNL"] {
+		t.Errorf("size ordering broken: %v", size)
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	for _, r := range Table4() {
+		if r.Assert != r.Paper.Assert || r.WrongOutput != r.Paper.WrongOutput ||
+			r.Segfault != r.Paper.Segfault || r.Deadlock != r.Paper.Deadlock {
+			t.Errorf("%s: census %d/%d/%d/%d, paper %d/%d/%d/%d",
+				r.Name, r.Assert, r.WrongOutput, r.Segfault, r.Deadlock,
+				r.Paper.Assert, r.Paper.WrongOutput, r.Paper.Segfault, r.Paper.Deadlock)
+		}
+	}
+}
+
+func TestFigure2MatchesTaxonomy(t *testing.T) {
+	for _, r := range Figure2() {
+		if !r.FailsUnprotected {
+			t.Errorf("%s: must fail unprotected", r.Pattern)
+		}
+		if r.ConAirRecovered != r.PaperSaysRecoverable {
+			t.Errorf("%s: recovered=%v, taxonomy=%v",
+				r.Pattern, r.ConAirRecovered, r.PaperSaysRecoverable)
+		}
+		if !r.CheckpointRecovered {
+			t.Errorf("%s: the whole-checkpoint baseline must recover it", r.Pattern)
+		}
+	}
+}
+
+func TestAnalysisTimesPositive(t *testing.T) {
+	rows := AnalysisTimes()
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Full <= 0 || r.Intra <= 0 || r.Transform <= 0 {
+			t.Errorf("%s: non-positive times: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestTable6Structure(t *testing.T) {
+	rows := Table6()
+	byName := map[string]Table6Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		// Percentages in range (or the N/A marker).
+		for _, v := range []float64{r.NonDeadlockStaticPct, r.NonDeadlockDynamicPct,
+			r.DeadlockStaticPct, r.DeadlockDynamicPct} {
+			if v != -1 && (v < 0 || v > 100) {
+				t.Errorf("%s: percentage out of range: %+v", r.Name, r)
+			}
+		}
+	}
+	// The paper's headline: MySQL's deadlock points are overwhelmingly
+	// optimized away (88% / 91%).
+	if byName["MySQL1"].DeadlockStaticPct < 80 {
+		t.Errorf("MySQL1 deadlock static = %.1f, want ~88", byName["MySQL1"].DeadlockStaticPct)
+	}
+	if byName["MySQL2"].DeadlockStaticPct < 85 {
+		t.Errorf("MySQL2 deadlock static = %.1f, want ~91", byName["MySQL2"].DeadlockStaticPct)
+	}
+	// Apps with no deadlock sites report N/A.
+	if byName["FFT"].DeadlockStaticPct != -1 {
+		t.Errorf("FFT deadlock should be N/A: %+v", byName["FFT"])
+	}
+}

@@ -1,0 +1,82 @@
+// Package interp executes MIR modules under a controllable multi-threaded
+// virtual machine. It is the substrate standing in for pthreads, the OS
+// scheduler and setjmp/longjmp in the ConAir reproduction:
+//
+//   - threads run MIR functions over a shared flat address space of
+//     globals and heap blocks, with per-frame virtual registers and stack
+//     slots;
+//   - a pluggable, seeded scheduler decides which thread steps next, so
+//     failure-inducing interleavings are forcible and runs are repeatable;
+//   - locks support acquisition timeouts (pthread_mutex_timedlock);
+//   - the ConAir recovery instructions (checkpoint, rollback) implement
+//     single-threaded idempotent reexecution: checkpoint snapshots the
+//     current frame's register image and program counter, rollback
+//     compensates region-acquired resources and longjmps back;
+//   - failures (assert violations, wrong outputs, segfaults, deadlocks,
+//     hangs) are detected and reported with their site and position.
+package interp
+
+import (
+	"io"
+
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// Address-space layout. Addresses at or below LowerBound are invalid to
+// dereference; ConAir's transformed pointer sanity check tests p >
+// LowerBound exactly as in Figure 5c of the paper.
+const (
+	// LowerBound is the paper's default invalid-pointer boundary (10,000).
+	LowerBound mir.Word = 10000
+	// GlobalBase is the address of global index 0.
+	GlobalBase mir.Word = 1 << 20
+	// HeapBase is the first heap address.
+	HeapBase mir.Word = 1 << 30
+)
+
+// Config controls one interpreter run.
+type Config struct {
+	// Sched picks the next thread; required. Use sched.NewRandom(seed)
+	// for the repeated-run experiments.
+	Sched sched.Scheduler
+	// MaxSteps aborts the run with a hang failure after this many executed
+	// instructions (0 means the DefaultMaxSteps cutoff). It is the
+	// stand-in for "the program stopped responding".
+	MaxSteps int64
+	// CollectOutput retains output events in the result (on by default in
+	// Run helpers; costs memory on long runs).
+	CollectOutput bool
+	// MaxThreads bounds thread creation (default DefaultMaxThreads).
+	MaxThreads int
+	// NoDeadlockCycles disables wait-for-graph deadlock detection on
+	// untimed lock acquisitions; the deadlock then manifests only once no
+	// thread can run, or at the step limit. Hardened programs are
+	// unaffected either way: their kept lock sites use timed locks, whose
+	// self-resolving edges never form a reportable cycle.
+	NoDeadlockCycles bool
+	// Trace, when non-nil, receives one line per executed instruction:
+	// "step=N tid=T pos=F:B:I op". It slows execution by an order of
+	// magnitude; use for debugging.
+	Trace io.Writer
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxSteps   = int64(50_000_000)
+	DefaultMaxThreads = 256
+)
+
+func (c *Config) maxSteps() int64 {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	return DefaultMaxSteps
+}
+
+func (c *Config) maxThreads() int {
+	if c.MaxThreads > 0 {
+		return c.MaxThreads
+	}
+	return DefaultMaxThreads
+}

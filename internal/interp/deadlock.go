@@ -1,0 +1,41 @@
+package interp
+
+// Wait-for-graph deadlock detection. The paper (§3.1.1) notes that ConAir
+// can work with any deadlock-detection mechanism — timeout-based (what the
+// transformation plants, following MySQL's practice) or cycle detection in
+// the run-time resource-acquisition graph (the Dimmunix-style approach it
+// cites). The interpreter implements the latter for *unprotected*
+// programs, so a deadlock among a subset of threads is reported as a hang
+// immediately even while unrelated threads keep running, instead of only
+// when the whole process quiesces or hits the step limit.
+//
+// A cycle only counts when every edge is an untimed acquisition: a timed
+// lock in the cycle resolves itself by timing out, which is exactly how
+// hardened programs escape (the recovery then releases locks through
+// compensation).
+
+// deadlockCycle returns the thread ids forming a wait-for cycle through
+// start, or nil. start must have just blocked on an untimed lock.
+func (vm *VM) deadlockCycle(start *thread) []int {
+	var path []int
+	cur := start
+	for range vm.threads { // bounded walk: a cycle is at most all threads
+		if cur.status != statusBlockedLock || cur.blockTimeout > 0 {
+			return nil
+		}
+		mu := vm.lcks.get(cur.blockAddr)
+		if !mu.held {
+			return nil
+		}
+		path = append(path, cur.id)
+		holder := vm.threadByID(mu.holder)
+		if holder == nil || holder.status == statusDone {
+			return nil
+		}
+		if holder.id == start.id {
+			return path
+		}
+		cur = holder
+	}
+	return nil
+}

@@ -1,0 +1,538 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// VM executes one MIR module run. Create with New, drive with Run.
+type VM struct {
+	mod  *mir.Module
+	cfg  Config
+	mem  *memory
+	lcks *locks
+
+	threads []*thread
+	nextTID int
+
+	step    int64
+	stats   Stats
+	output  []OutputEvent
+	failure *Failure
+	done    bool
+	mainTID int
+	exit    mir.Word
+
+	runnableBuf []int
+}
+
+// New prepares a VM for the module. The module must contain a main
+// function with no parameters; New panics otherwise (the verifier enforces
+// the signature, so this indicates misuse rather than bad input).
+func New(mod *mir.Module, cfg Config) *VM {
+	if cfg.Sched == nil {
+		cfg.Sched = sched.NewRandom(1)
+	}
+	mi := mod.Main()
+	if mi < 0 {
+		panic(mir.ErrNoMain)
+	}
+	vm := &VM{
+		mod:  mod,
+		cfg:  cfg,
+		mem:  newMemory(mod),
+		lcks: newLocks(),
+	}
+	vm.mainTID = vm.spawn(mi, nil)
+	return vm
+}
+
+// Run executes the module to completion, failure, or the step cutoff.
+func (vm *VM) Run() *Result {
+	max := vm.cfg.maxSteps()
+	for !vm.done && vm.failure == nil {
+		if vm.step >= max {
+			vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+			break
+		}
+		tid, ok := vm.pickThread()
+		if !ok {
+			break // deadlock already reported, or everything exited
+		}
+		vm.exec(vm.threads[tid])
+		vm.step++
+	}
+	return vm.result()
+}
+
+// RunModule is a convenience one-shot runner.
+func RunModule(mod *mir.Module, cfg Config) *Result {
+	return New(mod, cfg).Run()
+}
+
+func (vm *VM) result() *Result {
+	r := &Result{
+		Completed: vm.done && vm.failure == nil,
+		Failure:   vm.failure,
+		ExitCode:  vm.exit,
+		Output:    vm.output,
+		Stats:     vm.stats,
+	}
+	r.Stats.Steps = vm.step
+	// Surface episodes still open at program end as unrecovered.
+	for _, t := range vm.threads {
+		for _, e := range t.episodes {
+			r.Stats.Episodes = append(r.Stats.Episodes, *e)
+		}
+	}
+	sort.Slice(r.Stats.Episodes, func(i, j int) bool {
+		return r.Stats.Episodes[i].Start < r.Stats.Episodes[j].Start
+	})
+	return r
+}
+
+// spawn creates a thread running function fi with the given arguments.
+func (vm *VM) spawn(fi int, args []mir.Word) int {
+	f := &vm.mod.Functions[fi]
+	t := &thread{id: vm.nextTID}
+	vm.nextTID++
+	fr := frame{
+		fn:     fi,
+		regs:   make([]mir.Word, f.NumRegs()),
+		slots:  make([]mir.Word, len(f.SlotNames)),
+		retDst: -1,
+	}
+	copy(fr.regs, args)
+	t.frames = append(t.frames, fr)
+	vm.threads = append(vm.threads, t)
+	vm.stats.ThreadsSpawned++
+	return t.id
+}
+
+// pickThread collects runnable threads (waking sleepers and expiring lock
+// timeouts) and asks the scheduler to choose. When nothing can run it
+// reports a deadlock or ends the program.
+func (vm *VM) pickThread() (int, bool) {
+	for {
+		runnable := vm.runnableBuf[:0]
+		var minWake int64 = -1
+		anyLive := false
+		for _, t := range vm.threads {
+			switch t.status {
+			case statusRunnable:
+				runnable = append(runnable, t.id)
+			case statusSleeping:
+				anyLive = true
+				if t.wakeAt <= vm.step {
+					t.status = statusRunnable
+					runnable = append(runnable, t.id)
+				} else if minWake < 0 || t.wakeAt < minWake {
+					minWake = t.wakeAt
+				}
+			case statusBlockedLock:
+				anyLive = true
+				mu := vm.lcks.get(t.blockAddr)
+				waited := vm.step - t.blockedSince
+				switch {
+				case !mu.held:
+					// Lock available: the thread is schedulable; it
+					// acquires when picked.
+					runnable = append(runnable, t.id)
+				case t.blockTimeout > 0 && waited >= t.blockTimeout:
+					// Timed lock expired: schedulable to observe timeout.
+					runnable = append(runnable, t.id)
+				case t.blockTimeout > 0:
+					// A pending timeout is a future wake event; without
+					// this, a system quiesced behind a timed lock would be
+					// misreported as deadlocked.
+					if wake := t.blockedSince + t.blockTimeout; minWake < 0 || wake < minWake {
+						minWake = wake
+					}
+				}
+			case statusBlockedJoin:
+				anyLive = true
+				if vm.threadByID(t.joinTarget) == nil ||
+					vm.threadByID(t.joinTarget).status == statusDone {
+					t.status = statusRunnable
+					runnable = append(runnable, t.id)
+				}
+			case statusDone:
+			}
+		}
+		vm.runnableBuf = runnable
+		if len(runnable) > 0 {
+			return vm.cfg.Sched.Pick(runnable, vm.step), true
+		}
+		if !anyLive {
+			// Every thread is done but main never returned? (Cannot
+			// happen: main returning sets vm.done.) Treat as end.
+			return 0, false
+		}
+		if minWake > vm.step {
+			// Only sleepers: advance virtual time to the next wake.
+			vm.step = minWake
+			continue
+		}
+		// Threads exist but none can ever run: all blocked on held locks
+		// or joins — a deadlock, observed as a hang by the user.
+		vm.fail(mir.FailHang, mir.Pos{}, 0, -1,
+			fmt.Sprintf("no runnable threads at step %d (deadlock)", vm.step))
+		return 0, false
+	}
+}
+
+func (vm *VM) threadByID(id int) *thread {
+	if id < 0 || id >= len(vm.threads) {
+		return nil
+	}
+	return vm.threads[id]
+}
+
+func (vm *VM) fail(kind mir.FailKind, pos mir.Pos, site, tid int, msg string) {
+	vm.failure = &Failure{
+		Kind: kind, Pos: pos, Site: site, Thread: tid, Step: vm.step, Msg: msg,
+	}
+}
+
+// eval resolves an operand against the current frame.
+func eval(fr *frame, o mir.Operand) mir.Word {
+	switch o.Kind {
+	case mir.OperandReg:
+		return fr.regs[o.Reg]
+	case mir.OperandImm:
+		return o.Imm
+	}
+	return 0
+}
+
+// exec runs exactly one instruction of t.
+func (vm *VM) exec(t *thread) {
+	fr := t.top()
+	f := &vm.mod.Functions[fr.fn]
+	in := &f.Blocks[fr.block].Instrs[fr.index]
+	pos := mir.Pos{Fn: fr.fn, Block: fr.block, Index: fr.index}
+	advance := true
+
+	if vm.cfg.Trace != nil {
+		fmt.Fprintf(vm.cfg.Trace, "step=%d tid=%d pos=%s %s\n",
+			vm.step, t.id, pos, mir.FormatInstr(vm.mod, f, in))
+	}
+
+	switch in.Op {
+	case mir.OpConst:
+		fr.regs[in.Dst] = in.Imm
+
+	case mir.OpBin:
+		fr.regs[in.Dst] = in.Bin.Eval(eval(fr, in.A), eval(fr, in.B))
+		// A site-tagged comparison is the transformed failure check; its
+		// outcome is observed at the branch, handled under OpBr.
+
+	case mir.OpLoadG:
+		fr.regs[in.Dst] = vm.mem.globals[in.Global]
+
+	case mir.OpStoreG:
+		vm.mem.globals[in.Global] = eval(fr, in.A)
+
+	case mir.OpAddrG:
+		fr.regs[in.Dst] = globalAddr(in.Global)
+
+	case mir.OpLoad:
+		addr := eval(fr, in.A)
+		v, ok := vm.mem.load(addr)
+		if !ok {
+			vm.fail(mir.FailSegfault, pos, in.Site, t.id,
+				fmt.Sprintf("invalid read at address %d", addr))
+			return
+		}
+		fr.regs[in.Dst] = v
+
+	case mir.OpStore:
+		addr := eval(fr, in.A)
+		if !vm.mem.store(addr, eval(fr, in.B)) {
+			vm.fail(mir.FailSegfault, pos, in.Site, t.id,
+				fmt.Sprintf("invalid write at address %d", addr))
+			return
+		}
+
+	case mir.OpLoadS:
+		fr.regs[in.Dst] = fr.slots[in.Slot]
+
+	case mir.OpStoreS:
+		fr.slots[in.Slot] = eval(fr, in.A)
+
+	case mir.OpAlloc:
+		addr := vm.mem.alloc(eval(fr, in.A))
+		fr.regs[in.Dst] = addr
+		if t.jmp != nil {
+			t.pushComp(compAlloc, addr)
+		}
+
+	case mir.OpFree:
+		vm.mem.free(eval(fr, in.A))
+
+	case mir.OpLock:
+		addr := eval(fr, in.A)
+		mu := vm.lcks.get(addr)
+		switch {
+		case !mu.held:
+			mu.held, mu.holder = true, t.id
+			t.status = statusRunnable
+			if t.jmp != nil {
+				t.pushComp(compLock, addr)
+			}
+		case mu.holder == t.id && t.status != statusBlockedLock:
+			vm.fail(mir.FailHang, pos, in.Site, t.id,
+				fmt.Sprintf("self-deadlock on lock %d", addr))
+			return
+		default:
+			if t.status != statusBlockedLock {
+				t.status = statusBlockedLock
+				t.blockAddr = addr
+				t.blockedSince = vm.step
+				t.blockTimeout = 0
+				if !vm.cfg.NoDeadlockCycles {
+					if cycle := vm.deadlockCycle(t); cycle != nil {
+						vm.fail(mir.FailHang, pos, in.Site, t.id,
+							fmt.Sprintf("deadlock: wait-for cycle among threads %v", cycle))
+						return
+					}
+				}
+			}
+			advance = false
+		}
+
+	case mir.OpTimedLock:
+		addr := eval(fr, in.A)
+		mu := vm.lcks.get(addr)
+		selfHeld := mu.held && mu.holder == t.id && t.status != statusBlockedLock
+		waiting := t.status == statusBlockedLock
+		expired := waiting && vm.step-t.blockedSince >= t.blockTimeout
+		switch {
+		case !mu.held:
+			mu.held, mu.holder = true, t.id
+			t.status = statusRunnable
+			fr.regs[in.Dst] = 1
+			if t.jmp != nil {
+				t.pushComp(compLock, addr)
+			}
+			if in.Site > 0 {
+				if e := t.endEpisode(in.Site, vm.step); e != nil {
+					vm.stats.Episodes = append(vm.stats.Episodes, *e)
+				}
+			}
+		case selfHeld || expired:
+			// Self-acquisition would never succeed; treat it as an
+			// immediate timeout. An expired wait reports timeout too.
+			t.status = statusRunnable
+			fr.regs[in.Dst] = 0
+		default:
+			if !waiting {
+				t.status = statusBlockedLock
+				t.blockAddr = addr
+				t.blockedSince = vm.step
+				t.blockTimeout = int64(in.Timeout)
+			}
+			advance = false
+		}
+
+	case mir.OpUnlock:
+		addr := eval(fr, in.A)
+		mu := vm.lcks.get(addr)
+		if mu.held && mu.holder == t.id {
+			mu.held = false
+		}
+		// Unlocking a lock we do not hold is undefined in pthreads; the
+		// interpreter ignores it, as the analyses never generate it.
+
+	case mir.OpCall:
+		callee := &vm.mod.Functions[in.Callee]
+		nfr := frame{
+			fn:     in.Callee,
+			regs:   make([]mir.Word, callee.NumRegs()),
+			slots:  make([]mir.Word, len(callee.SlotNames)),
+			retDst: in.Dst,
+		}
+		for i, a := range in.Args {
+			nfr.regs[i] = eval(fr, a)
+		}
+		// Advance the caller past the call before pushing, so the return
+		// resumes at the next instruction.
+		fr.index++
+		t.frames = append(t.frames, nfr)
+		return
+
+	case mir.OpSpawn:
+		if len(vm.threads) >= vm.cfg.maxThreads() {
+			vm.fail(mir.FailHang, pos, 0, t.id, "thread limit exceeded")
+			return
+		}
+		args := make([]mir.Word, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = eval(fr, a)
+		}
+		fr.regs[in.Dst] = mir.Word(vm.spawn(in.Callee, args))
+
+	case mir.OpJoin:
+		target := int(eval(fr, in.A))
+		tt := vm.threadByID(target)
+		if tt != nil && tt.status != statusDone {
+			t.status = statusBlockedJoin
+			t.joinTarget = target
+			advance = false
+		}
+
+	case mir.OpOutput:
+		if vm.cfg.CollectOutput {
+			vm.output = append(vm.output, OutputEvent{
+				Text: in.Text, Value: eval(fr, in.A), Thread: t.id, Step: vm.step,
+			})
+		}
+
+	case mir.OpAssert:
+		if eval(fr, in.A) == 0 {
+			kind := mir.FailAssert
+			if in.AssertKind == mir.AssertOracle {
+				kind = mir.FailWrongOutput
+			}
+			vm.fail(kind, pos, in.Site, t.id, in.Text)
+			return
+		}
+
+	case mir.OpYield:
+		// Scheduler hint only; costs one step.
+
+	case mir.OpSleep:
+		d := eval(fr, in.A)
+		if d > 0 {
+			t.status = statusSleeping
+			t.wakeAt = vm.step + d
+		}
+
+	case mir.OpSleepRand:
+		n := eval(fr, in.A)
+		if n > 0 {
+			d := mir.Word(vm.cfg.Sched.Intn(int(n) + 1))
+			if d > 0 {
+				t.status = statusSleeping
+				t.wakeAt = vm.step + d
+			}
+		}
+
+	case mir.OpNop:
+
+	case mir.OpCheckpoint:
+		t.regionCtr++
+		jb := t.jmp
+		if jb == nil || cap(jb.regs) < len(fr.regs) {
+			jb = &jmpbuf{regs: make([]mir.Word, len(fr.regs))}
+			t.jmp = jb
+		}
+		jb.regs = jb.regs[:len(fr.regs)]
+		copy(jb.regs, fr.regs)
+		jb.frameDepth = len(t.frames) - 1
+		jb.block = fr.block
+		jb.index = fr.index + 1
+		jb.regionCtr = t.regionCtr
+		vm.stats.Checkpoints++
+		if vm.stats.CheckpointExecs == nil {
+			vm.stats.CheckpointExecs = map[int]int64{}
+		}
+		vm.stats.CheckpointExecs[in.Site]++
+
+	case mir.OpRollback:
+		site := in.Site
+		if t.jmp != nil && t.jmp.frameDepth < len(t.frames) &&
+			t.retryCount(site) < in.MaxRetry {
+			t.bumpRetry(site)
+			t.beginEpisode(site, vm.step)
+			vm.rollback(t)
+			vm.stats.Rollbacks++
+			return
+		}
+		// No active checkpoint or retries exhausted: fall through to the
+		// real failure (the instruction after the rollback).
+
+	case mir.OpFail:
+		vm.fail(in.FailKind, pos, in.Site, t.id, in.Text)
+		return
+
+	case mir.OpBr:
+		c := eval(fr, in.A)
+		if in.Site > 0 && c != 0 {
+			// Site-tagged branches are transformed failure checks with the
+			// convention Then = pass, Else = recover. Passing closes any
+			// open recovery episode for the site.
+			if e := t.endEpisode(in.Site, vm.step); e != nil {
+				vm.stats.Episodes = append(vm.stats.Episodes, *e)
+			}
+		}
+		if c != 0 {
+			fr.block, fr.index = in.Then, 0
+		} else {
+			fr.block, fr.index = in.Else, 0
+		}
+		return
+
+	case mir.OpJmp:
+		fr.block, fr.index = in.Then, 0
+		return
+
+	case mir.OpRet:
+		ret := eval(fr, in.A)
+		t.frames = t.frames[:len(t.frames)-1]
+		// Returning out of the checkpoint's frame invalidates it, exactly
+		// like returning from the function that called setjmp.
+		if t.jmp != nil && t.jmp.frameDepth >= len(t.frames) {
+			t.jmp = nil
+		}
+		if len(t.frames) == 0 {
+			t.status = statusDone
+			t.result = ret
+			if t.id == vm.mainTID {
+				vm.done = true
+				vm.exit = ret
+			}
+			return
+		}
+		caller := t.top()
+		if fr.retDst >= 0 {
+			caller.regs[fr.retDst] = ret
+		}
+		return
+
+	default:
+		vm.fail(mir.FailHang, pos, 0, t.id, fmt.Sprintf("unimplemented op %v", in.Op))
+		return
+	}
+
+	if advance {
+		fr.index++
+	}
+}
+
+// rollback performs the longjmp: compensate region acquisitions, unwind
+// callee frames, restore the checkpoint frame's register image and jump to
+// the instruction after the checkpoint.
+func (vm *VM) rollback(t *thread) {
+	for _, ce := range t.takeComp() {
+		switch ce.kind {
+		case compAlloc:
+			vm.mem.free(ce.addr)
+			vm.stats.CompFrees++
+		case compLock:
+			mu := vm.lcks.get(ce.addr)
+			if mu.held && mu.holder == t.id {
+				mu.held = false
+			}
+			vm.stats.CompUnlocks++
+		}
+	}
+	jb := t.jmp
+	t.frames = t.frames[:jb.frameDepth+1]
+	fr := t.top()
+	copy(fr.regs, jb.regs)
+	fr.block, fr.index = jb.block, jb.index
+}

@@ -1,0 +1,718 @@
+package interp
+
+import (
+	"testing"
+
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+func run(t *testing.T, src string, cfg Config) *Result {
+	t.Helper()
+	m, err := mir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = sched.NewRandom(42)
+	}
+	cfg.CollectOutput = true
+	return RunModule(m, cfg)
+}
+
+func TestStraightLineArithmetic(t *testing.T) {
+	r := run(t, `
+func main() {
+entry:
+  %a = const 20
+  %b = const 22
+  %c = add %a, %b
+  output "sum", %c
+  ret %c
+}`, Config{})
+	if !r.Completed {
+		t.Fatalf("run failed: %v", r.Failure)
+	}
+	if r.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", r.ExitCode)
+	}
+	if len(r.Output) != 1 || r.Output[0].Value != 42 || r.Output[0].Text != "sum" {
+		t.Errorf("output = %+v", r.Output)
+	}
+}
+
+func TestGlobalsAndBranches(t *testing.T) {
+	r := run(t, `
+global g = 10
+func main() {
+entry:
+  %x = loadg @g
+  %big = gt %x, 5
+  br %big, yes, no
+yes:
+  storeg @g, 1
+  ret 1
+no:
+  storeg @g, 0
+  ret 0
+}`, Config{})
+	if !r.Completed || r.ExitCode != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestLoopAndStackSlots(t *testing.T) {
+	// Sum 1..10 via a stack slot accumulator.
+	r := run(t, `
+func main() {
+entry:
+  stores $acc, 0
+  %i = const 1
+  jmp loop
+loop:
+  %a = loads $acc
+  %a2 = add %a, %i
+  stores $acc, %a2
+  %i2 = add %i, 1
+  %i = add %i2, 0
+  %done = gt %i, 10
+  br %done, out, loop
+out:
+  %r = loads $acc
+  ret %r
+}`, Config{})
+	if !r.Completed || r.ExitCode != 55 {
+		t.Fatalf("sum = %d (completed=%v failure=%v)", r.ExitCode, r.Completed, r.Failure)
+	}
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	r := run(t, `
+func add3(%a, %b, %c) {
+entry:
+  %s = add %a, %b
+  %s2 = add %s, %c
+  ret %s2
+}
+func main() {
+entry:
+  %r = call add3(1, 2, 3)
+  %r2 = call add3(%r, %r, %r)
+  ret %r2
+}`, Config{})
+	if !r.Completed || r.ExitCode != 18 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestHeapAllocFreeAndSegfaults(t *testing.T) {
+	r := run(t, `
+func main() {
+entry:
+  %p = alloc 4
+  %p1 = add %p, 3
+  store %p1, 99
+  %v = load %p1
+  free %p
+  ret %v
+}`, Config{})
+	if !r.Completed || r.ExitCode != 99 {
+		t.Fatalf("heap result = %+v", r)
+	}
+
+	// Null dereference faults.
+	r = run(t, `
+func main() {
+entry:
+  %p = const 0
+  %v = load %p
+  ret %v
+}`, Config{})
+	if r.Completed || r.Failure == nil || r.Failure.Kind != mir.FailSegfault {
+		t.Fatalf("null deref should segfault: %+v", r)
+	}
+
+	// Use-after-free faults.
+	r = run(t, `
+func main() {
+entry:
+  %p = alloc 2
+  free %p
+  %v = load %p
+  ret %v
+}`, Config{})
+	if r.Completed || r.Failure.Kind != mir.FailSegfault {
+		t.Fatalf("use-after-free should segfault: %+v", r)
+	}
+
+	// One-past-the-end faults (guard word).
+	r = run(t, `
+func main() {
+entry:
+  %p = alloc 2
+  %q = add %p, 2
+  %v = load %q
+  ret %v
+}`, Config{})
+	if r.Completed || r.Failure.Kind != mir.FailSegfault {
+		t.Fatalf("out-of-bounds should segfault: %+v", r)
+	}
+}
+
+func TestGlobalAddressDeref(t *testing.T) {
+	r := run(t, `
+global g = 7
+func main() {
+entry:
+  %p = addrg @g
+  %v = load %p
+  store %p, 9
+  %w = loadg @g
+  %s = add %v, %w
+  ret %s
+}`, Config{})
+	if !r.Completed || r.ExitCode != 16 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	r := run(t, `
+func main() {
+entry:
+  %x = const 0
+  assert %x, "x must be nonzero"
+  ret
+}`, Config{})
+	if r.Completed || r.Failure.Kind != mir.FailAssert || r.Failure.Msg != "x must be nonzero" {
+		t.Fatalf("assert result = %+v", r)
+	}
+
+	r = run(t, `
+func main() {
+entry:
+  %x = const 0
+  oracle %x, "output must be positive"
+  ret
+}`, Config{})
+	if r.Completed || r.Failure.Kind != mir.FailWrongOutput {
+		t.Fatalf("oracle result = %+v", r)
+	}
+}
+
+func TestSpawnJoin(t *testing.T) {
+	r := run(t, `
+global sum = 0
+func worker(%n) {
+entry:
+  %x = loadg @sum
+  %y = add %x, %n
+  storeg @sum, %y
+  ret
+}
+func main() {
+entry:
+  %t1 = spawn worker(10)
+  join %t1
+  %t2 = spawn worker(32)
+  join %t2
+  %v = loadg @sum
+  ret %v
+}`, Config{})
+	if !r.Completed || r.ExitCode != 42 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Stats.ThreadsSpawned != 3 {
+		t.Errorf("threads spawned = %d, want 3", r.Stats.ThreadsSpawned)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	// Two workers each increment a counter 100 times under a lock;
+	// with quantum-1 round-robin scheduling the increments would race
+	// without the lock, losing updates. With the lock the total is exact.
+	src := `
+global counter = 0
+global mtx = 0
+func worker() {
+entry:
+  %i = const 0
+  jmp loop
+loop:
+  %p = addrg @mtx
+  lock %p
+  %v = loadg @counter
+  yield
+  %v2 = add %v, 1
+  storeg @counter, %v2
+  unlock %p
+  %i2 = add %i, 1
+  %i = add %i2, 0
+  %done = ge %i, 100
+  br %done, out, loop
+out:
+  ret
+}
+func main() {
+entry:
+  %t1 = spawn worker()
+  %t2 = spawn worker()
+  join %t1
+  join %t2
+  %v = loadg @counter
+  ret %v
+}`
+	r := run(t, src, Config{Sched: sched.NewRoundRobin(1, 7)})
+	if !r.Completed || r.ExitCode != 200 {
+		t.Fatalf("locked counter = %d (failure=%v)", r.ExitCode, r.Failure)
+	}
+}
+
+func TestRaceLosesUpdatesWithoutLock(t *testing.T) {
+	// The same counter without the lock must lose updates under an
+	// adversarial interleaving — this validates that the interpreter
+	// actually interleaves at instruction granularity.
+	src := `
+global counter = 0
+func worker() {
+entry:
+  %i = const 0
+  jmp loop
+loop:
+  %v = loadg @counter
+  yield
+  %v2 = add %v, 1
+  storeg @counter, %v2
+  %i2 = add %i, 1
+  %i = add %i2, 0
+  %done = ge %i, 50
+  br %done, out, loop
+out:
+  ret
+}
+func main() {
+entry:
+  %t1 = spawn worker()
+  %t2 = spawn worker()
+  join %t1
+  join %t2
+  %v = loadg @counter
+  ret %v
+}`
+	r := run(t, src, Config{Sched: sched.NewRoundRobin(1, 7)})
+	if !r.Completed {
+		t.Fatalf("failure = %v", r.Failure)
+	}
+	if r.ExitCode >= 100 {
+		t.Fatalf("expected lost updates, got %d", r.ExitCode)
+	}
+}
+
+func TestDeadlockDetectedAsHang(t *testing.T) {
+	src := `
+global a = 0
+global b = 0
+func t1() {
+entry:
+  %pa = addrg @a
+  %pb = addrg @b
+  lock %pa
+  sleep 50
+  lock %pb
+  unlock %pb
+  unlock %pa
+  ret
+}
+func t2() {
+entry:
+  %pa = addrg @a
+  %pb = addrg @b
+  lock %pb
+  sleep 50
+  lock %pa
+  unlock %pa
+  unlock %pb
+  ret
+}
+func main() {
+entry:
+  %x = spawn t1()
+  %y = spawn t2()
+  join %x
+  join %y
+  ret
+}`
+	r := run(t, src, Config{})
+	if r.Completed || r.Failure == nil || r.Failure.Kind != mir.FailHang {
+		t.Fatalf("deadlock result = %+v", r)
+	}
+}
+
+func TestTimedLockTimesOut(t *testing.T) {
+	src := `
+global m = 0
+func holder() {
+entry:
+  %p = addrg @m
+  lock %p
+  sleep 1000
+  unlock %p
+  ret
+}
+func main() {
+entry:
+  %t = spawn holder()
+  sleep 10
+  %p = addrg @m
+  %got = timedlock %p, 50
+  join %t
+  ret %got
+}`
+	r := run(t, src, Config{})
+	if !r.Completed || r.ExitCode != 0 {
+		t.Fatalf("timedlock should time out: %+v", r)
+	}
+}
+
+func TestTimedLockAcquires(t *testing.T) {
+	src := `
+global m = 0
+func main() {
+entry:
+  %p = addrg @m
+  %got = timedlock %p, 50
+  unlock %p
+  ret %got
+}`
+	r := run(t, src, Config{})
+	if !r.Completed || r.ExitCode != 1 {
+		t.Fatalf("timedlock should acquire: %+v", r)
+	}
+}
+
+func TestCheckpointRollbackRecoversAssert(t *testing.T) {
+	// Hand-transformed shape of Figure 6: thread 1 reads a flag set late
+	// by thread 2; the rollback loop rereads until the assert passes.
+	src := `
+global flag = 0
+func waiter() {
+entry:
+  checkpoint 1
+  %v = loadg @flag
+  br %v, pass, recover
+recover:
+  rollback 1, 1000000
+  fail assert, "flag never set"
+pass:
+  ret %v
+}
+func main() {
+entry:
+  %t = spawn waiter()
+  sleep 200
+  storeg @flag, 1
+  join %t
+  ret
+}`
+	r := run(t, src, Config{})
+	if !r.Completed {
+		t.Fatalf("recovery failed: %v", r.Failure)
+	}
+	if r.Stats.Rollbacks == 0 {
+		t.Error("expected rollbacks > 0")
+	}
+	if r.Stats.Checkpoints == 0 {
+		t.Error("expected checkpoints > 0")
+	}
+}
+
+func TestRollbackExhaustionFails(t *testing.T) {
+	src := `
+global flag = 0
+func main() {
+entry:
+  checkpoint 1
+  %v = loadg @flag
+  br %v, pass, recover
+recover:
+  rollback 1, 3
+  fail assert, "flag never set"
+pass:
+  ret %v
+}`
+	r := run(t, src, Config{})
+	if r.Completed || r.Failure.Kind != mir.FailAssert {
+		t.Fatalf("exhaustion result = %+v", r)
+	}
+	if r.Stats.Rollbacks != 3 {
+		t.Errorf("rollbacks = %d, want 3", r.Stats.Rollbacks)
+	}
+}
+
+func TestRollbackWithoutCheckpointFallsThrough(t *testing.T) {
+	src := `
+func main() {
+entry:
+  %v = const 0
+  br %v, pass, recover
+recover:
+  rollback 1, 100
+  fail assert, "no checkpoint"
+pass:
+  ret
+}`
+	r := run(t, src, Config{})
+	if r.Completed || r.Failure.Kind != mir.FailAssert {
+		t.Fatalf("want immediate failure, got %+v", r)
+	}
+	if r.Stats.Rollbacks != 0 {
+		t.Errorf("rollbacks = %d, want 0", r.Stats.Rollbacks)
+	}
+}
+
+func TestRollbackCompensatesLockAndAlloc(t *testing.T) {
+	// The region acquires a lock and allocates; the failing check forces
+	// one rollback, which must release both so the other thread can
+	// proceed (HawkNL-style deadlock recovery, §4.1).
+	src := `
+global m = 0
+global flag = 0
+func main() {
+entry:
+  checkpoint 1
+  %p = addrg @m
+  lock %p
+  %h = alloc 8
+  %v = loadg @flag
+  br %v, pass, recover
+recover:
+  rollback 1, 2
+  fail assert, "never"
+pass:
+  unlock %p
+  ret
+}`
+	m := mir.MustParse(src)
+	vm := New(m, Config{Sched: sched.NewRandom(1), CollectOutput: true})
+	// Set the flag only after the first rollback would have happened:
+	// run a few steps manually by relying on the retry bound of 2 —
+	// after the first rollback the region reexecutes, and we flip the
+	// flag in memory directly before the second check.
+	// Simpler: run to completion with flag flipped by a second thread is
+	// covered elsewhere; here we only check compensation counters after
+	// an exhausted run.
+	r := vm.Run()
+	if r.Completed {
+		t.Fatal("expected failure after exhausted retries")
+	}
+	if r.Stats.CompUnlocks != 2 || r.Stats.CompFrees != 2 {
+		t.Errorf("compensation: unlocks=%d frees=%d, want 2 and 2",
+			r.Stats.CompUnlocks, r.Stats.CompFrees)
+	}
+}
+
+func TestInterProceduralRollbackUnwindsFrames(t *testing.T) {
+	// Checkpoint in the caller, failure check in the callee: rollback
+	// must pop the callee frame and reexecute from the caller (the
+	// MozillaXP pattern, §4.3).
+	src := `
+global ptr = 0
+func getstate(%p) {
+entry:
+  %ok = gt %p, 10000
+  br %ok, good, recover
+recover:
+  rollback 7, 1000000
+  %v0 = load %p
+  ret %v0
+good:
+  %v = load %p
+  ret %v
+}
+func initthd() {
+entry:
+  sleep 300
+  %h = alloc 4
+  store %h, 123
+  storeg @ptr, %h
+  ret
+}
+func main() {
+entry:
+  %t = spawn initthd()
+  checkpoint 7
+  %p = loadg @ptr
+  %s = call getstate(%p)
+  join %t
+  ret %s
+}`
+	r := run(t, src, Config{})
+	if !r.Completed || r.ExitCode != 123 {
+		t.Fatalf("interprocedural recovery: %+v", r)
+	}
+	if r.Stats.Rollbacks == 0 {
+		t.Error("expected rollbacks")
+	}
+}
+
+func TestReturnInvalidatesCheckpoint(t *testing.T) {
+	// A checkpoint taken inside a function must not be a rollback target
+	// after that function returns (setjmp semantics).
+	src := `
+func sub() {
+entry:
+  checkpoint 3
+  ret
+}
+func main() {
+entry:
+  call sub()
+  %v = const 0
+  br %v, pass, recover
+recover:
+  rollback 3, 10
+  fail assert, "dead checkpoint"
+pass:
+  ret
+}`
+	r := run(t, src, Config{})
+	if r.Completed || r.Failure.Kind != mir.FailAssert {
+		t.Fatalf("dead checkpoint result = %+v", r)
+	}
+	if r.Stats.Rollbacks != 0 {
+		t.Errorf("rollbacks = %d, want 0 (checkpoint was invalidated)", r.Stats.Rollbacks)
+	}
+}
+
+func TestEpisodeTracking(t *testing.T) {
+	src := `
+global flag = 0
+func waiter() {
+entry:
+  checkpoint 9
+  %v = loadg @flag
+  %c = eq %v, 1
+  br %c, pass, recover
+recover:
+  rollback 9, 1000000
+  fail assert, "never set"
+pass:
+  ret
+}
+func main() {
+entry:
+  %t = spawn waiter()
+  sleep 100
+  storeg @flag, 1
+  join %t
+  ret
+}`
+	// The pass branch is not site-tagged in this hand-written module, so
+	// tag it to observe episode completion.
+	m := mir.MustParse(src)
+	wi := m.FuncIndex("waiter")
+	f := &m.Functions[wi]
+	br := &f.Blocks[0].Instrs[3]
+	if br.Op != mir.OpBr {
+		t.Fatalf("expected br, got %v", br.Op)
+	}
+	br.Site = 9
+	r := RunModule(m, Config{Sched: sched.NewRandom(3)})
+	if !r.Completed {
+		t.Fatalf("failure: %v", r.Failure)
+	}
+	recs := r.RecoveredEpisodes()
+	if len(recs) != 1 {
+		t.Fatalf("episodes = %+v, want 1 recovered", r.Stats.Episodes)
+	}
+	e := recs[0]
+	if e.Site != 9 || e.Retries == 0 || e.Duration() <= 0 {
+		t.Errorf("episode = %+v", e)
+	}
+	if r.MaxEpisode() == nil || r.MaxEpisode().Site != 9 {
+		t.Errorf("MaxEpisode = %+v", r.MaxEpisode())
+	}
+}
+
+func TestHangOnStepLimit(t *testing.T) {
+	src := `
+func main() {
+entry:
+  jmp entry2
+entry2:
+  jmp entry
+}`
+	r := run(t, src, Config{MaxSteps: 1000})
+	if r.Completed || r.Failure.Kind != mir.FailHang {
+		t.Fatalf("expected hang, got %+v", r)
+	}
+}
+
+func TestSleepRandBounded(t *testing.T) {
+	src := `
+func main() {
+entry:
+  sleeprand 10
+  sleeprand 10
+  ret
+}`
+	r := run(t, src, Config{})
+	if !r.Completed {
+		t.Fatalf("sleeprand run failed: %v", r.Failure)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	src := `
+global c = 0
+func w() {
+entry:
+  %v = loadg @c
+  yield
+  %v2 = add %v, 1
+  storeg @c, %v2
+  ret
+}
+func main() {
+entry:
+  %a = spawn w()
+  %b = spawn w()
+  %d = spawn w()
+  join %a
+  join %b
+  join %d
+  %v = loadg @c
+  ret %v
+}`
+	m := mir.MustParse(src)
+	first := RunModule(m, Config{Sched: sched.NewRandom(99)})
+	for i := 0; i < 5; i++ {
+		again := RunModule(m, Config{Sched: sched.NewRandom(99)})
+		if again.ExitCode != first.ExitCode || again.Stats.Steps != first.Stats.Steps {
+			t.Fatalf("run %d diverged: %d/%d vs %d/%d", i,
+				again.ExitCode, again.Stats.Steps, first.ExitCode, first.Stats.Steps)
+		}
+	}
+}
+
+func TestMainReturnTerminatesProgram(t *testing.T) {
+	// main returning ends the run even with a spawned thread still alive.
+	src := `
+func w() {
+entry:
+  sleep 100000
+  ret
+}
+func main() {
+entry:
+  %t = spawn w()
+  ret 5
+}`
+	r := run(t, src, Config{})
+	if !r.Completed || r.ExitCode != 5 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Stats.Steps > 1000 {
+		t.Errorf("program should end at main's return, took %d steps", r.Stats.Steps)
+	}
+}

@@ -1,0 +1,143 @@
+package interp
+
+import "conair/internal/mir"
+
+// threadStatus enumerates thread scheduler states.
+type threadStatus uint8
+
+const (
+	statusRunnable threadStatus = iota
+	statusBlockedLock
+	statusBlockedJoin
+	statusSleeping
+	statusDone
+)
+
+// frame is one activation record: the register image plus stack slots and
+// the program counter within a function.
+type frame struct {
+	fn     int
+	regs   []mir.Word
+	slots  []mir.Word
+	block  int
+	index  int
+	retDst int // destination register in the caller, -1 for none
+}
+
+// jmpbuf is the thread-local jump buffer written by checkpoint and read by
+// rollback — the stand-in for the paper's setjmp register image. It records
+// which frame the checkpoint executed in (so inter-procedural rollback can
+// unwind callee frames), the program counter just past the checkpoint, and
+// a copy of the frame's virtual registers.
+type jmpbuf struct {
+	frameDepth int
+	block      int
+	index      int
+	regs       []mir.Word
+	regionCtr  int64
+}
+
+// compKind tags compensation-log entries (paper §4.1).
+type compKind uint8
+
+const (
+	compAlloc compKind = iota
+	compLock
+)
+
+// compEntry records a resource acquired inside a reexecution region so a
+// rollback can release it: heap allocations are freed, locks unlocked.
+type compEntry struct {
+	kind compKind
+	addr mir.Word
+	ctr  int64 // region counter at acquisition
+}
+
+// thread is one virtual thread.
+type thread struct {
+	id     int
+	status threadStatus
+	frames []frame
+	result mir.Word
+
+	// Blocking state.
+	blockAddr    mir.Word // lock address for statusBlockedLock
+	blockedSince int64
+	blockTimeout int64 // steps; 0 = wait forever (plain lock)
+	blockDst     int   // destination register for timedlock result
+	joinTarget   int
+	wakeAt       int64
+
+	// ConAir recovery state.
+	jmp       *jmpbuf
+	regionCtr int64
+	retries   map[int]int64 // per failure-site retry counters
+	comp      []compEntry
+
+	// Open recovery episodes, one per site.
+	episodes map[int]*Episode
+}
+
+func (t *thread) top() *frame { return &t.frames[len(t.frames)-1] }
+
+func (t *thread) retryCount(site int) int64 {
+	if t.retries == nil {
+		return 0
+	}
+	return t.retries[site]
+}
+
+func (t *thread) bumpRetry(site int) {
+	if t.retries == nil {
+		t.retries = map[int]int64{}
+	}
+	t.retries[site]++
+}
+
+// pushComp records a compensable acquisition under the current region
+// counter. Entries from older regions are dropped first, mirroring the
+// paper's "clean the vector if the counter changed" bookkeeping.
+func (t *thread) pushComp(kind compKind, addr mir.Word) {
+	if len(t.comp) > 0 && t.comp[0].ctr != t.regionCtr {
+		t.comp = t.comp[:0]
+	}
+	t.comp = append(t.comp, compEntry{kind: kind, addr: addr, ctr: t.regionCtr})
+}
+
+// takeComp removes and returns the entries recorded under the current
+// region counter (the resources a rollback must release).
+func (t *thread) takeComp() []compEntry {
+	if len(t.comp) == 0 || t.comp[0].ctr != t.regionCtr {
+		t.comp = t.comp[:0]
+		return nil
+	}
+	out := t.comp
+	t.comp = nil
+	return out
+}
+
+// beginEpisode opens (or continues) the recovery episode for site at step.
+func (t *thread) beginEpisode(site int, step int64) *Episode {
+	if t.episodes == nil {
+		t.episodes = map[int]*Episode{}
+	}
+	e := t.episodes[site]
+	if e == nil {
+		e = &Episode{Site: site, Thread: t.id, Start: step, End: -1}
+		t.episodes[site] = e
+	}
+	e.Retries++
+	return e
+}
+
+// endEpisode closes the open episode for site, if any, marking recovery.
+func (t *thread) endEpisode(site int, step int64) *Episode {
+	e := t.episodes[site]
+	if e == nil {
+		return nil
+	}
+	delete(t.episodes, site)
+	e.End = step
+	e.Recovered = true
+	return e
+}

@@ -1,0 +1,114 @@
+package mir
+
+// This file encodes the instruction taxonomy that ConAir's region
+// identification is defined over (paper §3.2.1 and §4.1).
+
+// DestroyClass says why (or whether) an instruction ends an idempotent
+// reexecution region when walking backward across it.
+type DestroyClass uint8
+
+// Destroy classes.
+const (
+	// DestroyNone: the instruction may appear inside a reexecution region.
+	DestroyNone DestroyClass = iota
+	// DestroySharedWrite: write to a global or through a pointer.
+	DestroySharedWrite
+	// DestroyLocalWrite: write to a stack slot (a local not held in a
+	// virtual register, hence outside the saved register image).
+	DestroyLocalWrite
+	// DestroyIO: an output operation.
+	DestroyIO
+	// DestroyCall: a function call (in the basic design every call
+	// destroys idempotency; §4.1 re-admits alloc and lock specifically).
+	DestroyCall
+	// DestroyRelease: free or unlock — releasing a resource that may have
+	// been acquired before the region started can never be compensated
+	// (§4.1), so these always destroy.
+	DestroyRelease
+)
+
+// String names the class for reports.
+func (c DestroyClass) String() string {
+	switch c {
+	case DestroyNone:
+		return "none"
+	case DestroySharedWrite:
+		return "shared-write"
+	case DestroyLocalWrite:
+		return "local-write"
+	case DestroyIO:
+		return "io"
+	case DestroyCall:
+		return "call"
+	case DestroyRelease:
+		return "release"
+	}
+	return "unknown"
+}
+
+// RegionPolicy selects which instructions may appear inside a reexecution
+// region. Basic is the paper's §3.2 design; Extended is §4.1, which admits
+// memory-allocation and lock-acquisition calls under compensation.
+type RegionPolicy uint8
+
+// Region policies.
+const (
+	PolicyBasic RegionPolicy = iota
+	PolicyExtended
+)
+
+// Classify returns the destroy class of in under the given policy.
+func Classify(in *Instr, policy RegionPolicy) DestroyClass {
+	switch in.Op {
+	case OpStoreG, OpStore:
+		return DestroySharedWrite
+	case OpStoreS:
+		return DestroyLocalWrite
+	case OpOutput:
+		return DestroyIO
+	case OpFree, OpUnlock:
+		return DestroyRelease
+	case OpCall, OpSpawn, OpJoin:
+		return DestroyCall
+	case OpAlloc, OpLock, OpTimedLock:
+		if policy == PolicyExtended {
+			// Compensated at rollback: allocations are freed, acquired
+			// locks released (§4.1).
+			return DestroyNone
+		}
+		return DestroyCall
+	default:
+		return DestroyNone
+	}
+}
+
+// Destroys reports whether in terminates a backward region walk under the
+// given policy.
+func Destroys(in *Instr, policy RegionPolicy) bool {
+	return Classify(in, policy) != DestroyNone
+}
+
+// IsSharedRead reports whether the instruction reads shared (global or
+// heap) memory. The pruning optimization (§4.2) requires a reexecution
+// region to contain at least one shared read on the failure site's backward
+// slice; note that a pointer dereference is itself a shared read, which is
+// why segmentation-fault sites are never pruned (§6.2).
+func IsSharedRead(in *Instr) bool {
+	switch in.Op {
+	case OpLoadG, OpLoad:
+		return true
+	case OpTimedLock, OpLock:
+		// Lock acquisition observes shared state, but the pruning pass
+		// treats lock sites separately (deadlock rule), so they do not
+		// count as slice-feeding shared reads.
+		return false
+	}
+	return false
+}
+
+// IsLockAcquire reports whether the instruction acquires a mutex. The
+// deadlock pruning rule (§4.2) requires at least one acquisition inside the
+// region so that rolling back releases something another thread may need.
+func IsLockAcquire(in *Instr) bool {
+	return in.Op == OpLock || in.Op == OpTimedLock
+}

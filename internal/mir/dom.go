@@ -1,0 +1,100 @@
+package mir
+
+// Dominator analysis over a function's CFG, using the Cooper–Harvey–
+// Kennedy iterative algorithm. The transformation verifier uses it to
+// check ConAir's central structural invariant: every recovery branch is
+// dominated by a checkpoint, so a rollback always has a valid jump buffer
+// (the most-recent-checkpoint argument of paper §3.3).
+type DomTree struct {
+	// IDom[b] is the immediate dominator of block b; the entry block's
+	// IDom is itself, and unreachable blocks have IDom -1.
+	IDom []int
+	rpo  []int
+	rpoN []int // rpoN[b] = position of b in RPO, -1 if unreachable
+}
+
+// BuildDomTree computes the dominator tree of f.
+func BuildDomTree(f *Function, cfg *CFG) *DomTree {
+	n := len(f.Blocks)
+	d := &DomTree{
+		IDom: make([]int, n),
+		rpo:  cfg.RPO,
+		rpoN: make([]int, n),
+	}
+	for i := range d.IDom {
+		d.IDom[i] = -1
+		d.rpoN[i] = -1
+	}
+	for i, b := range cfg.RPO {
+		d.rpoN[b] = i
+	}
+	if n == 0 {
+		return d
+	}
+	d.IDom[0] = 0
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for d.rpoN[a] > d.rpoN[b] {
+				a = d.IDom[a]
+			}
+			for d.rpoN[b] > d.rpoN[a] {
+				b = d.IDom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range cfg.Preds[b] {
+				if d.IDom[p] < 0 {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && d.IDom[b] != newIdom {
+				d.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Dominates reports whether block a dominates block b. Every block
+// dominates itself; unreachable blocks dominate nothing and are dominated
+// by nothing.
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.IDom[b] < 0 || d.IDom[a] < 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = d.IDom[b]
+	}
+}
+
+// DominatesPos reports whether the instruction at position p executes
+// before the instruction at position q on every path from function entry
+// to q (block dominance plus intra-block ordering).
+func (d *DomTree) DominatesPos(p, q Pos) bool {
+	if p.Block == q.Block {
+		return p.Index <= q.Index && d.IDom[p.Block] >= 0
+	}
+	return d.Dominates(p.Block, q.Block)
+}

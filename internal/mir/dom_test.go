@@ -1,0 +1,113 @@
+package mir
+
+import "testing"
+
+func TestDomTreeDiamond(t *testing.T) {
+	m := MustParse(`
+func main() {
+a:
+  %x = const 1
+  br %x, b, c
+b:
+  jmp d
+c:
+  jmp d
+d:
+  ret
+}`)
+	f := &m.Functions[0]
+	cfg := BuildCFG(f)
+	dom := BuildDomTree(f, cfg)
+	a, b, c, d := 0, 1, 2, 3
+	if !dom.Dominates(a, d) {
+		t.Error("entry must dominate the join")
+	}
+	if dom.Dominates(b, d) || dom.Dominates(c, d) {
+		t.Error("neither branch arm dominates the join")
+	}
+	if dom.IDom[d] != a {
+		t.Errorf("idom(d) = %d, want a", dom.IDom[d])
+	}
+	if !dom.Dominates(b, b) {
+		t.Error("blocks dominate themselves")
+	}
+}
+
+func TestDomTreeLoop(t *testing.T) {
+	m := MustParse(`
+func main() {
+entry:
+  jmp head
+head:
+  %x = const 1
+  br %x, body, exit
+body:
+  jmp head
+exit:
+  ret
+}`)
+	f := &m.Functions[0]
+	dom := BuildDomTree(f, BuildCFG(f))
+	head := f.BlockIndex("head")
+	body := f.BlockIndex("body")
+	exit := f.BlockIndex("exit")
+	if !dom.Dominates(head, body) || !dom.Dominates(head, exit) {
+		t.Error("loop header must dominate body and exit")
+	}
+	if dom.Dominates(body, exit) {
+		t.Error("loop body must not dominate exit")
+	}
+}
+
+func TestDomTreeUnreachable(t *testing.T) {
+	m := MustParse(`
+func main() {
+entry:
+  ret
+island:
+  jmp island
+}`)
+	f := &m.Functions[0]
+	dom := BuildDomTree(f, BuildCFG(f))
+	island := f.BlockIndex("island")
+	if dom.IDom[island] != -1 {
+		t.Errorf("unreachable block got idom %d", dom.IDom[island])
+	}
+	if dom.Dominates(0, island) || dom.Dominates(island, 0) {
+		t.Error("unreachable blocks take part in no dominance relation")
+	}
+}
+
+func TestDominatesPos(t *testing.T) {
+	m := MustParse(`
+func main() {
+a:
+  %x = const 1
+  %y = const 2
+  br %x, b, c
+b:
+  jmp d
+c:
+  jmp d
+d:
+  ret
+}`)
+	f := &m.Functions[0]
+	dom := BuildDomTree(f, BuildCFG(f))
+	p0 := Pos{Block: 0, Index: 0}
+	p1 := Pos{Block: 0, Index: 1}
+	inB := Pos{Block: 1, Index: 0}
+	inD := Pos{Block: 3, Index: 0}
+	if !dom.DominatesPos(p0, p1) {
+		t.Error("earlier instruction dominates later in same block")
+	}
+	if dom.DominatesPos(p1, p0) {
+		t.Error("later instruction does not dominate earlier")
+	}
+	if !dom.DominatesPos(p0, inD) {
+		t.Error("entry instruction dominates the join")
+	}
+	if dom.DominatesPos(inB, inD) {
+		t.Error("branch arm does not dominate the join")
+	}
+}

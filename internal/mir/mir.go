@@ -1,0 +1,550 @@
+// Package mir defines a small SSA-flavoured intermediate representation
+// ("MIR") that stands in for the LLVM bitcode ConAir operates on.
+//
+// MIR preserves exactly the instruction taxonomy that ConAir's analyses are
+// defined over:
+//
+//   - virtual registers: per-frame mutable word-sized values whose writes are
+//     idempotency-safe, because the recovery checkpoint saves the whole
+//     register image (the stand-in for setjmp + -no-stack-slot-sharing);
+//   - stack slots: per-frame named locals not held in registers; writes to
+//     them are idempotency-destroying;
+//   - globals and the heap: shared memory, addressed through a flat 64-bit
+//     address space; writes are idempotency-destroying and loads through an
+//     arbitrary pointer are potential segmentation-fault sites;
+//   - calls, I/O (output), free and unlock: idempotency-destroying;
+//   - alloc and lock/timedlock: permitted inside reexecution regions with
+//     compensation (ConAir §4.1).
+//
+// A module holds globals and functions; a function holds basic blocks of
+// instructions, terminated by a branch, jump or return. Programs can be
+// built with the Builder, parsed from the textual syntax (see parser.go) and
+// printed back (see print.go). The interpreter in internal/interp executes
+// modules directly; the transformer in internal/transform rewrites them.
+package mir
+
+import "fmt"
+
+// Word is the machine word of the MIR virtual machine. Every register,
+// stack slot, global and heap cell holds one Word. Pointers are Words too:
+// addresses index the interpreter's flat address space, where values below
+// interp.LowerBound are invalid to dereference (mirroring ConAir's pointer
+// sanity check, Figure 5c of the paper).
+type Word = int64
+
+// Op enumerates MIR instruction opcodes.
+type Op uint8
+
+const (
+	// OpConst: dst = Imm.
+	OpConst Op = iota
+	// OpBin: dst = A <BinOp> B.
+	OpBin
+	// OpLoadG: dst = *global (a shared-memory read).
+	OpLoadG
+	// OpStoreG: *global = A (a shared-memory write; idempotency-destroying).
+	OpStoreG
+	// OpAddrG: dst = &global (address-of; safe).
+	OpAddrG
+	// OpLoad: dst = *(A) through a pointer; a potential segfault site.
+	OpLoad
+	// OpStore: *(A) = B through a pointer; destroying and a potential
+	// segfault site.
+	OpStore
+	// OpLoadS: dst = stack slot Slot (safe to reexecute).
+	OpLoadS
+	// OpStoreS: stack slot Slot = A (idempotency-destroying: the slot is
+	// not part of the saved register image).
+	OpStoreS
+	// OpAlloc: dst = address of a fresh heap block of A words. Permitted in
+	// reexecution regions; compensated by an implicit free on rollback.
+	OpAlloc
+	// OpFree: free the heap block at A (idempotency-destroying).
+	OpFree
+	// OpLock: acquire the mutex at address A; blocks until acquired.
+	// Permitted in reexecution regions; compensated by unlock on rollback.
+	OpLock
+	// OpTimedLock: dst = 1 if the mutex at address A was acquired within
+	// Timeout interpreter steps, 0 on timeout. Emitted by the transformer
+	// when it converts lock acquisitions into deadlock failure sites.
+	OpTimedLock
+	// OpUnlock: release the mutex at address A (idempotency-destroying).
+	OpUnlock
+	// OpCall: dst = Callee(Args...). Idempotency-destroying in the basic
+	// design (ConAir §3.2.1).
+	OpCall
+	// OpSpawn: dst = thread id of a new thread running Callee(Args...).
+	OpSpawn
+	// OpJoin: block until thread A exits.
+	OpJoin
+	// OpOutput: emit A to the program output stream, tagged with Text.
+	// I/O is idempotency-destroying and a potential wrong-output site.
+	OpOutput
+	// OpAssert: fail the program with an assertion failure if A == 0.
+	// Kind Oracle marks a developer-provided output-correctness condition
+	// (Figure 5b); Plain marks an ordinary assert (Figure 5a).
+	OpAssert
+	// OpYield: scheduler hint; semantically a no-op and safe to reexecute.
+	OpYield
+	// OpSleep: block this thread for A interpreter steps. Used by the
+	// benchmarks the way the paper uses injected sleeps to force
+	// failure-inducing interleavings. Safe to reexecute.
+	OpSleep
+	// OpNop: no operation.
+	OpNop
+
+	// Instructions below are emitted only by the ConAir transformer.
+
+	// OpCheckpoint: a reexecution point. Saves the current frame's register
+	// image, program counter and frame depth into the thread-local jump
+	// buffer and bumps the thread's region counter (the paper's setjmp plus
+	// counter increment, §3.3/§4.1).
+	OpCheckpoint
+	// OpRollback: a recovery attempt at failure site Site. If the site's
+	// thread-local retry count is below MaxRetry and a checkpoint is
+	// active, it runs compensation (frees region allocations, releases
+	// region locks) and longjmps to the most recent checkpoint; otherwise
+	// execution falls through to the next instruction (the real failure).
+	OpRollback
+	// OpFail: unconditionally report a failure of kind FailKind. The
+	// transformer plants this after exhausted recovery attempts
+	// (the paper's call of assert_fail after the retry loop, Figure 6).
+	OpFail
+	// OpSleepRand: block for a scheduler-chosen duration in [0, A] steps.
+	// Planted at deadlock failure sites to break recovery livelock (§3.3).
+	OpSleepRand
+
+	// OpBr: terminator; branch to Then if A != 0 else to Else.
+	OpBr
+	// OpJmp: terminator; jump to Then.
+	OpJmp
+	// OpRet: terminator; return A (or 0 if A is OperandNone) to the caller.
+	// Returning from a thread's entry function exits the thread.
+	OpRet
+)
+
+var opNames = [...]string{
+	OpConst:      "const",
+	OpBin:        "bin",
+	OpLoadG:      "loadg",
+	OpStoreG:     "storeg",
+	OpAddrG:      "addrg",
+	OpLoad:       "load",
+	OpStore:      "store",
+	OpLoadS:      "loads",
+	OpStoreS:     "stores",
+	OpAlloc:      "alloc",
+	OpFree:       "free",
+	OpLock:       "lock",
+	OpTimedLock:  "timedlock",
+	OpUnlock:     "unlock",
+	OpCall:       "call",
+	OpSpawn:      "spawn",
+	OpJoin:       "join",
+	OpOutput:     "output",
+	OpAssert:     "assert",
+	OpYield:      "yield",
+	OpSleep:      "sleep",
+	OpNop:        "nop",
+	OpCheckpoint: "checkpoint",
+	OpRollback:   "rollback",
+	OpFail:       "fail",
+	OpSleepRand:  "sleeprand",
+	OpBr:         "br",
+	OpJmp:        "jmp",
+	OpRet:        "ret",
+}
+
+// String returns the textual mnemonic of the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsTerminator reports whether the opcode ends a basic block. OpFail is a
+// terminator because it never falls through: it reports the failure and
+// ends the run.
+func (op Op) IsTerminator() bool {
+	switch op {
+	case OpBr, OpJmp, OpRet, OpFail:
+		return true
+	}
+	return false
+}
+
+// BinOp enumerates the arithmetic and comparison operators of OpBin.
+type BinOp uint8
+
+// Binary operators. Comparisons yield 1 or 0.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+)
+
+var binNames = [...]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div",
+	BinMod: "mod", BinAnd: "and", BinOr: "or", BinXor: "xor",
+	BinShl: "shl", BinShr: "shr", BinEq: "eq", BinNe: "ne",
+	BinLt: "lt", BinLe: "le", BinGt: "gt", BinGe: "ge",
+}
+
+// String returns the textual mnemonic of the operator.
+func (b BinOp) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("binop(%d)", uint8(b))
+}
+
+// Eval applies the operator to two words. Division and modulus by zero
+// yield 0 rather than trapping: MIR models concurrency failures, not
+// arithmetic ones.
+func (b BinOp) Eval(x, y Word) Word {
+	switch b {
+	case BinAdd:
+		return x + y
+	case BinSub:
+		return x - y
+	case BinMul:
+		return x * y
+	case BinDiv:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case BinMod:
+		if y == 0 {
+			return 0
+		}
+		return x % y
+	case BinAnd:
+		return x & y
+	case BinOr:
+		return x | y
+	case BinXor:
+		return x ^ y
+	case BinShl:
+		return x << (uint64(y) & 63)
+	case BinShr:
+		return x >> (uint64(y) & 63)
+	case BinEq:
+		return bool2w(x == y)
+	case BinNe:
+		return bool2w(x != y)
+	case BinLt:
+		return bool2w(x < y)
+	case BinLe:
+		return bool2w(x <= y)
+	case BinGt:
+		return bool2w(x > y)
+	case BinGe:
+		return bool2w(x >= y)
+	}
+	return 0
+}
+
+func bool2w(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ParseBinOp maps a mnemonic back to its operator.
+func ParseBinOp(s string) (BinOp, bool) {
+	for i, n := range binNames {
+		if n == s {
+			return BinOp(i), true
+		}
+	}
+	return 0, false
+}
+
+// OperandKind discriminates Operand payloads.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	// OperandNone marks an absent operand (e.g. a bare "ret").
+	OperandNone OperandKind = iota
+	// OperandReg names a virtual register by per-function index.
+	OperandReg
+	// OperandImm is an immediate constant.
+	OperandImm
+)
+
+// Operand is a register reference or immediate value.
+type Operand struct {
+	Kind OperandKind
+	Reg  int  // register index when Kind == OperandReg
+	Imm  Word // constant when Kind == OperandImm
+}
+
+// None is the absent operand.
+var None = Operand{Kind: OperandNone}
+
+// Reg returns a register operand.
+func Reg(i int) Operand { return Operand{Kind: OperandReg, Reg: i} }
+
+// Imm returns an immediate operand.
+func Imm(v Word) Operand { return Operand{Kind: OperandImm, Imm: v} }
+
+// IsReg reports whether the operand is a register reference.
+func (o Operand) IsReg() bool { return o.Kind == OperandReg }
+
+// AssertKind distinguishes ordinary assertions from output oracles.
+type AssertKind uint8
+
+// Assertion kinds.
+const (
+	// AssertPlain is an ordinary developer assertion (Figure 5a).
+	AssertPlain AssertKind = iota
+	// AssertOracle is a developer-specified output-correctness condition
+	// guarding an output statement (Figure 5b). Its failure is a
+	// wrong-output failure rather than an assertion failure.
+	AssertOracle
+)
+
+// FailKind enumerates the failure classes of the paper's evaluation:
+// assertion violations, wrong outputs, segmentation faults and deadlocks
+// (plus Hang for undetected deadlocks in unhardened programs).
+type FailKind uint8
+
+// Failure kinds.
+const (
+	FailAssert FailKind = iota
+	FailWrongOutput
+	FailSegfault
+	FailDeadlock
+	FailHang
+)
+
+var failNames = [...]string{
+	FailAssert:      "assert",
+	FailWrongOutput: "wrong-output",
+	FailSegfault:    "segfault",
+	FailDeadlock:    "deadlock",
+	FailHang:        "hang",
+}
+
+// String returns the failure-kind name used in reports.
+func (k FailKind) String() string {
+	if int(k) < len(failNames) {
+		return failNames[k]
+	}
+	return fmt.Sprintf("failkind(%d)", uint8(k))
+}
+
+// Instr is one MIR instruction. Which fields are meaningful depends on Op;
+// the zero value of unused fields is ignored. Instructions are stored by
+// value inside blocks: analyses address them as (function, block, index)
+// positions rather than by pointer identity.
+type Instr struct {
+	Op  Op
+	Bin BinOp // operator for OpBin
+
+	Dst int // destination register index, or -1 when there is none
+
+	A, B Operand // generic operands
+
+	Global int // global index for OpLoadG/OpStoreG/OpAddrG
+	Slot   int // stack-slot index for OpLoadS/OpStoreS
+	Callee int // function index for OpCall/OpSpawn
+	Args   []Operand
+
+	Then, Else int // successor block indices for OpBr/OpJmp
+
+	Imm Word // constant for OpConst
+
+	AssertKind AssertKind // for OpAssert
+	FailKind   FailKind   // for OpFail
+
+	Timeout  int   // steps, for OpTimedLock
+	Site     int   // failure-site id, for OpRollback/OpFail/transformed sites
+	MaxRetry int64 // retry bound, for OpRollback
+
+	Text string // message for OpAssert/OpOutput/OpFail; label for debugging
+}
+
+// HasDst reports whether the instruction defines a register.
+func (in *Instr) HasDst() bool { return in.Dst >= 0 }
+
+// Uses returns the register indices the instruction reads. The result is
+// appended to buf to avoid allocation in hot analysis loops.
+func (in *Instr) Uses(buf []int) []int {
+	add := func(o Operand) {
+		if o.Kind == OperandReg {
+			buf = append(buf, o.Reg)
+		}
+	}
+	add(in.A)
+	add(in.B)
+	for _, a := range in.Args {
+		add(a)
+	}
+	return buf
+}
+
+// Block is a basic block: a straight-line instruction sequence whose last
+// instruction is a terminator.
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction. It panics on an empty
+// block; the verifier rejects those before anything else runs.
+func (b *Block) Terminator() *Instr {
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// Function is a MIR function: named registers (parameters first), named
+// stack slots, and basic blocks with block 0 as entry.
+type Function struct {
+	Name      string
+	NumParams int
+	// RegNames holds one name per virtual register; registers are addressed
+	// by index everywhere else.
+	RegNames []string
+	// SlotNames holds one name per stack slot.
+	SlotNames []string
+	Blocks    []Block
+}
+
+// NumRegs returns the size of the function's virtual register file.
+func (f *Function) NumRegs() int { return len(f.RegNames) }
+
+// Entry returns the entry block index (always 0).
+func (f *Function) Entry() int { return 0 }
+
+// BlockIndex returns the index of the named block, or -1.
+func (f *Function) BlockIndex(name string) int {
+	for i := range f.Blocks {
+		if f.Blocks[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Global is a module-level shared cell (one word), optionally used as a
+// mutex by lock/unlock instructions.
+type Global struct {
+	Name string
+	Init Word
+}
+
+// Module is a complete MIR program: globals plus functions. Function 0 need
+// not be main; the entry function is located by name.
+type Module struct {
+	Name      string
+	Globals   []Global
+	Functions []Function
+}
+
+// FuncIndex returns the index of the named function, or -1.
+func (m *Module) FuncIndex(name string) int {
+	for i := range m.Functions {
+		if m.Functions[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// GlobalIndex returns the index of the named global, or -1.
+func (m *Module) GlobalIndex(name string) int {
+	for i := range m.Globals {
+		if m.Globals[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Main returns the index of the "main" function, or -1.
+func (m *Module) Main() int { return m.FuncIndex("main") }
+
+// NumInstrs counts every instruction in the module; the benchmarks report
+// it as the reconstruction-size analogue of the paper's per-app LOC.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for i := range m.Functions {
+		for j := range m.Functions[i].Blocks {
+			n += len(m.Functions[i].Blocks[j].Instrs)
+		}
+	}
+	return n
+}
+
+// Pos addresses one instruction as (function, block, index-within-block).
+type Pos struct {
+	Fn, Block, Index int
+}
+
+// String renders the position as fn:block:index.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d:%d", p.Fn, p.Block, p.Index) }
+
+// Less orders positions lexicographically; used for deterministic reports.
+func (p Pos) Less(q Pos) bool {
+	if p.Fn != q.Fn {
+		return p.Fn < q.Fn
+	}
+	if p.Block != q.Block {
+		return p.Block < q.Block
+	}
+	return p.Index < q.Index
+}
+
+// At returns the instruction at position p.
+func (m *Module) At(p Pos) *Instr {
+	return &m.Functions[p.Fn].Blocks[p.Block].Instrs[p.Index]
+}
+
+// Clone returns a deep copy of the module, so transformation never mutates
+// the caller's original program.
+func (m *Module) Clone() *Module {
+	out := &Module{Name: m.Name}
+	out.Globals = append([]Global(nil), m.Globals...)
+	out.Functions = make([]Function, len(m.Functions))
+	for i := range m.Functions {
+		f := &m.Functions[i]
+		nf := Function{
+			Name:      f.Name,
+			NumParams: f.NumParams,
+			RegNames:  append([]string(nil), f.RegNames...),
+			SlotNames: append([]string(nil), f.SlotNames...),
+			Blocks:    make([]Block, len(f.Blocks)),
+		}
+		for j := range f.Blocks {
+			b := &f.Blocks[j]
+			nb := Block{Name: b.Name, Instrs: make([]Instr, len(b.Instrs))}
+			for k := range b.Instrs {
+				in := b.Instrs[k]
+				if in.Args != nil {
+					in.Args = append([]Operand(nil), in.Args...)
+				}
+				nb.Instrs[k] = in
+			}
+			nf.Blocks[j] = nb
+		}
+		out.Functions[i] = nf
+	}
+	return out
+}

@@ -1,0 +1,566 @@
+package mir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual MIR syntax emitted by Print. The grammar is
+// line-oriented:
+//
+//	module NAME
+//	global NAME = INT
+//	func NAME(%p0, %p1) {
+//	label:
+//	  %dst = OP ...
+//	  OP ...
+//	}
+//
+// Comments run from ';' or '//' to end of line. Operands are registers
+// (%name) or integer immediates; globals are @name, stack slots $name,
+// branch targets are block labels. Parse verifies the module before
+// returning it.
+func Parse(src string) (*Module, error) {
+	p := &parser{m: &Module{Name: "module"}}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("mir parse: line %d: %w", ln+1, err)
+		}
+	}
+	if p.f != nil {
+		return nil, fmt.Errorf("mir parse: unterminated function %q", p.f.Name)
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if err := Verify(p.m); err != nil {
+		return nil, err
+	}
+	return p.m, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixed fixtures.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+type blockFixup struct {
+	fn, blk, idx int
+	then, els    string // block names; els empty for jmp
+}
+
+type calleeFixupP struct {
+	fn, blk, idx int
+	name         string
+}
+
+type parser struct {
+	m   *Module
+	f   *Function // open function, nil at top level
+	fi  int
+	cur int // open block index
+	// register and slot name tables for the open function
+	regs  map[string]int
+	bfix  []blockFixup
+	cfix  []calleeFixupP
+	sawBr bool
+}
+
+func (p *parser) line(line string) error {
+	if p.f == nil {
+		return p.topLevel(line)
+	}
+	if line == "}" {
+		if len(p.f.Blocks) == 0 {
+			return fmt.Errorf("function %q has no blocks", p.f.Name)
+		}
+		p.m.Functions[p.fi] = *p.f
+		p.f = nil
+		return nil
+	}
+	if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t") {
+		name := strings.TrimSuffix(line, ":")
+		for _, b := range p.f.Blocks {
+			if b.Name == name {
+				return fmt.Errorf("block %q redeclared", name)
+			}
+		}
+		p.f.Blocks = append(p.f.Blocks, Block{Name: name})
+		p.cur = len(p.f.Blocks) - 1
+		return nil
+	}
+	if len(p.f.Blocks) == 0 {
+		return fmt.Errorf("instruction before first block label")
+	}
+	in, err := p.instr(line)
+	if err != nil {
+		return err
+	}
+	p.f.Blocks[p.cur].Instrs = append(p.f.Blocks[p.cur].Instrs, in)
+	return nil
+}
+
+func (p *parser) topLevel(line string) error {
+	switch {
+	case strings.HasPrefix(line, "module "):
+		p.m.Name = strings.TrimSpace(strings.TrimPrefix(line, "module "))
+		return nil
+	case strings.HasPrefix(line, "global "):
+		rest := strings.TrimPrefix(line, "global ")
+		name, val, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf("global needs '= value'")
+		}
+		name = strings.TrimSpace(name)
+		v, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return fmt.Errorf("global %s: %w", name, err)
+		}
+		if p.m.GlobalIndex(name) >= 0 {
+			return fmt.Errorf("global %q redeclared", name)
+		}
+		p.m.Globals = append(p.m.Globals, Global{Name: name, Init: v})
+		return nil
+	case strings.HasPrefix(line, "func "):
+		rest := strings.TrimPrefix(line, "func ")
+		if !strings.HasSuffix(rest, "{") {
+			return fmt.Errorf("func line must end with '{'")
+		}
+		rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+		open := strings.Index(rest, "(")
+		close := strings.LastIndex(rest, ")")
+		if open < 0 || close < open {
+			return fmt.Errorf("malformed func header")
+		}
+		name := strings.TrimSpace(rest[:open])
+		if p.m.FuncIndex(name) >= 0 {
+			return fmt.Errorf("function %q redeclared", name)
+		}
+		f := Function{Name: name}
+		p.regs = map[string]int{}
+		params := strings.TrimSpace(rest[open+1 : close])
+		if params != "" {
+			for _, prm := range strings.Split(params, ",") {
+				prm = strings.TrimSpace(prm)
+				if !strings.HasPrefix(prm, "%") {
+					return fmt.Errorf("parameter %q must start with %%", prm)
+				}
+				rn := prm[1:]
+				if _, dup := p.regs[rn]; dup {
+					return fmt.Errorf("duplicate parameter %q", rn)
+				}
+				p.regs[rn] = len(f.RegNames)
+				f.RegNames = append(f.RegNames, rn)
+			}
+		}
+		f.NumParams = len(f.RegNames)
+		p.m.Functions = append(p.m.Functions, Function{Name: name})
+		p.fi = len(p.m.Functions) - 1
+		p.f = &f
+		return nil
+	}
+	return fmt.Errorf("unexpected top-level line %q", line)
+}
+
+// reg returns the index of register name, declaring it on first use.
+func (p *parser) reg(name string) int {
+	if i, ok := p.regs[name]; ok {
+		return i
+	}
+	i := len(p.f.RegNames)
+	p.f.RegNames = append(p.f.RegNames, name)
+	p.regs[name] = i
+	return i
+}
+
+func (p *parser) slot(name string) int {
+	for i, n := range p.f.SlotNames {
+		if n == name {
+			return i
+		}
+	}
+	p.f.SlotNames = append(p.f.SlotNames, name)
+	return len(p.f.SlotNames) - 1
+}
+
+func (p *parser) operand(tok string) (Operand, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" || tok == "_" {
+		return None, nil
+	}
+	if strings.HasPrefix(tok, "%") {
+		return Reg(p.reg(tok[1:])), nil
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return None, fmt.Errorf("bad operand %q", tok)
+	}
+	return Imm(v), nil
+}
+
+func (p *parser) global(tok string) (int, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "@") {
+		return 0, fmt.Errorf("expected @global, got %q", tok)
+	}
+	i := p.m.GlobalIndex(tok[1:])
+	if i < 0 {
+		return 0, fmt.Errorf("unknown global %q", tok[1:])
+	}
+	return i, nil
+}
+
+// splitArgs splits on top-level commas, leaving quoted strings intact.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" || len(out) > 0 {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func (p *parser) instr(line string) (Instr, error) {
+	in := Instr{Dst: -1}
+	rest := line
+	if strings.HasPrefix(line, "%") {
+		dst, r, ok := strings.Cut(line, "=")
+		if !ok {
+			return in, fmt.Errorf("register line without '='")
+		}
+		dst = strings.TrimSpace(dst)
+		in.Dst = p.reg(strings.TrimPrefix(dst, "%"))
+		rest = strings.TrimSpace(r)
+	}
+	op, args, _ := strings.Cut(rest, " ")
+	args = strings.TrimSpace(args)
+	parts := splitArgs(args)
+	need := func(n int) error {
+		if len(parts) != n {
+			return fmt.Errorf("%s expects %d operand(s), got %d", op, n, len(parts))
+		}
+		return nil
+	}
+	switch op {
+	case "const":
+		if err := need(1); err != nil {
+			return in, err
+		}
+		v, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return in, err
+		}
+		in.Op, in.Imm = OpConst, v
+		return in, nil
+	case "loadg", "storeg", "addrg":
+		g, err := p.global(parts[0])
+		if err != nil {
+			return in, err
+		}
+		in.Global = g
+		switch op {
+		case "loadg":
+			in.Op = OpLoadG
+			return in, need(1)
+		case "addrg":
+			in.Op = OpAddrG
+			return in, need(1)
+		default:
+			in.Op = OpStoreG
+			if err := need(2); err != nil {
+				return in, err
+			}
+			in.A, err = p.operand(parts[1])
+			return in, err
+		}
+	case "load", "free", "lock", "unlock", "join", "sleep", "sleeprand", "alloc":
+		if err := need(1); err != nil {
+			return in, err
+		}
+		a, err := p.operand(parts[0])
+		if err != nil {
+			return in, err
+		}
+		in.A = a
+		switch op {
+		case "load":
+			in.Op = OpLoad
+		case "free":
+			in.Op = OpFree
+		case "lock":
+			in.Op = OpLock
+		case "unlock":
+			in.Op = OpUnlock
+		case "join":
+			in.Op = OpJoin
+		case "sleep":
+			in.Op = OpSleep
+		case "sleeprand":
+			in.Op = OpSleepRand
+		case "alloc":
+			in.Op = OpAlloc
+		}
+		return in, nil
+	case "store":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.A, err = p.operand(parts[0]); err != nil {
+			return in, err
+		}
+		in.B, err = p.operand(parts[1])
+		in.Op = OpStore
+		return in, err
+	case "loads", "stores":
+		if !strings.HasPrefix(parts[0], "$") {
+			return in, fmt.Errorf("expected $slot, got %q", parts[0])
+		}
+		in.Slot = p.slot(parts[0][1:])
+		if op == "loads" {
+			in.Op = OpLoadS
+			return in, need(1)
+		}
+		in.Op = OpStoreS
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		in.A, err = p.operand(parts[1])
+		return in, err
+	case "timedlock":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		a, err := p.operand(parts[0])
+		if err != nil {
+			return in, err
+		}
+		t, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return in, err
+		}
+		in.Op, in.A, in.Timeout = OpTimedLock, a, t
+		return in, nil
+	case "call", "spawn":
+		open := strings.Index(args, "(")
+		close := strings.LastIndex(args, ")")
+		if open < 0 || close < open {
+			return in, fmt.Errorf("%s needs callee(args)", op)
+		}
+		name := strings.TrimSpace(args[:open])
+		in.Callee = -1
+		p.cfix = append(p.cfix, calleeFixupP{p.fi, p.cur, len(p.f.Blocks[p.cur].Instrs), name})
+		for _, atok := range splitArgs(args[open+1 : close]) {
+			if atok == "" {
+				continue
+			}
+			a, err := p.operand(atok)
+			if err != nil {
+				return in, err
+			}
+			in.Args = append(in.Args, a)
+		}
+		if op == "call" {
+			in.Op = OpCall
+		} else {
+			in.Op = OpSpawn
+		}
+		return in, nil
+	case "output", "assert", "oracle", "fail":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		switch op {
+		case "output":
+			s, err := strconv.Unquote(parts[0])
+			if err != nil {
+				return in, fmt.Errorf("output text: %w", err)
+			}
+			in.Text = s
+			in.Op = OpOutput
+			in.A, err = p.operand(parts[1])
+			return in, err
+		case "fail":
+			kind, ok := parseFailKind(parts[0])
+			if !ok {
+				return in, fmt.Errorf("unknown failure kind %q", parts[0])
+			}
+			s, err := strconv.Unquote(parts[1])
+			if err != nil {
+				return in, fmt.Errorf("fail text: %w", err)
+			}
+			in.Op, in.FailKind, in.Text = OpFail, kind, s
+			return in, nil
+		default:
+			a, err := p.operand(parts[0])
+			if err != nil {
+				return in, err
+			}
+			s, err := strconv.Unquote(parts[1])
+			if err != nil {
+				return in, fmt.Errorf("%s text: %w", op, err)
+			}
+			in.Op, in.A, in.Text = OpAssert, a, s
+			if op == "oracle" {
+				in.AssertKind = AssertOracle
+			}
+			return in, nil
+		}
+	case "yield":
+		in.Op = OpYield
+		return in, need(0)
+	case "nop":
+		in.Op = OpNop
+		return in, need(0)
+	case "checkpoint":
+		if err := need(1); err != nil {
+			return in, err
+		}
+		site, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return in, err
+		}
+		in.Op, in.Site = OpCheckpoint, site
+		return in, nil
+	case "rollback":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		site, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return in, err
+		}
+		maxRetry, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return in, err
+		}
+		in.Op, in.Site, in.MaxRetry = OpRollback, site, maxRetry
+		return in, nil
+	case "br":
+		if err := need(3); err != nil {
+			return in, err
+		}
+		a, err := p.operand(parts[0])
+		if err != nil {
+			return in, err
+		}
+		in.Op, in.A = OpBr, a
+		p.bfix = append(p.bfix, blockFixup{p.fi, p.cur, len(p.f.Blocks[p.cur].Instrs), parts[1], parts[2]})
+		return in, nil
+	case "jmp":
+		if err := need(1); err != nil {
+			return in, err
+		}
+		in.Op = OpJmp
+		p.bfix = append(p.bfix, blockFixup{p.fi, p.cur, len(p.f.Blocks[p.cur].Instrs), parts[0], ""})
+		return in, nil
+	case "ret":
+		in.Op = OpRet
+		if len(parts) == 0 {
+			in.A = None
+			return in, nil
+		}
+		if err := need(1); err != nil {
+			return in, err
+		}
+		var err error
+		in.A, err = p.operand(parts[0])
+		return in, err
+	}
+	if bop, ok := ParseBinOp(op); ok {
+		if err := need(2); err != nil {
+			return in, err
+		}
+		a, err := p.operand(parts[0])
+		if err != nil {
+			return in, err
+		}
+		b, err := p.operand(parts[1])
+		if err != nil {
+			return in, err
+		}
+		in.Op, in.Bin, in.A, in.B = OpBin, bop, a, b
+		return in, nil
+	}
+	return in, fmt.Errorf("unknown instruction %q", op)
+}
+
+func parseFailKind(s string) (FailKind, bool) {
+	for i, n := range failNames {
+		if n == s {
+			return FailKind(i), true
+		}
+	}
+	return 0, false
+}
+
+func (p *parser) resolve() error {
+	for _, fx := range p.bfix {
+		f := &p.m.Functions[fx.fn]
+		in := &f.Blocks[fx.blk].Instrs[fx.idx]
+		ti := f.BlockIndex(fx.then)
+		if ti < 0 {
+			return fmt.Errorf("mir parse: %s: unknown block %q", f.Name, fx.then)
+		}
+		in.Then = ti
+		if fx.els != "" {
+			ei := f.BlockIndex(fx.els)
+			if ei < 0 {
+				return fmt.Errorf("mir parse: %s: unknown block %q", f.Name, fx.els)
+			}
+			in.Else = ei
+		}
+	}
+	for _, fx := range p.cfix {
+		ci := p.m.FuncIndex(fx.name)
+		if ci < 0 {
+			return fmt.Errorf("mir parse: call to unknown function %q", fx.name)
+		}
+		p.m.Functions[fx.fn].Blocks[fx.blk].Instrs[fx.idx].Callee = ci
+	}
+	return nil
+}

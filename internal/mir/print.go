@@ -1,0 +1,140 @@
+package mir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a module in the textual MIR syntax accepted by Parse. The
+// round trip Parse(Print(m)) reproduces m up to register numbering.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s = %d\n", g.Name, g.Init)
+	}
+	for fi := range m.Functions {
+		f := &m.Functions[fi]
+		sb.WriteString("\nfunc ")
+		sb.WriteString(f.Name)
+		sb.WriteByte('(')
+		for i := 0; i < f.NumParams; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteByte('%')
+			sb.WriteString(f.RegNames[i])
+		}
+		sb.WriteString(") {\n")
+		for bi := range f.Blocks {
+			blk := &f.Blocks[bi]
+			fmt.Fprintf(&sb, "%s:\n", blk.Name)
+			for ii := range blk.Instrs {
+				sb.WriteString("  ")
+				sb.WriteString(FormatInstr(m, f, &blk.Instrs[ii]))
+				sb.WriteByte('\n')
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// FormatInstr renders one instruction in textual syntax.
+func FormatInstr(m *Module, f *Function, in *Instr) string {
+	opnd := func(o Operand) string {
+		switch o.Kind {
+		case OperandReg:
+			return "%" + f.RegNames[o.Reg]
+		case OperandImm:
+			return strconv.FormatInt(o.Imm, 10)
+		}
+		return "_"
+	}
+	dst := func() string {
+		return "%" + f.RegNames[in.Dst] + " = "
+	}
+	gname := func() string { return "@" + m.Globals[in.Global].Name }
+	sname := func() string { return "$" + f.SlotNames[in.Slot] }
+	callArgs := func() string {
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = opnd(a)
+		}
+		return m.Functions[in.Callee].Name + "(" + strings.Join(parts, ", ") + ")"
+	}
+	blk := func(i int) string { return f.Blocks[i].Name }
+
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%sconst %d", dst(), in.Imm)
+	case OpBin:
+		return fmt.Sprintf("%s%s %s, %s", dst(), in.Bin, opnd(in.A), opnd(in.B))
+	case OpLoadG:
+		return fmt.Sprintf("%sloadg %s", dst(), gname())
+	case OpStoreG:
+		return fmt.Sprintf("storeg %s, %s", gname(), opnd(in.A))
+	case OpAddrG:
+		return fmt.Sprintf("%saddrg %s", dst(), gname())
+	case OpLoad:
+		return fmt.Sprintf("%sload %s", dst(), opnd(in.A))
+	case OpStore:
+		return fmt.Sprintf("store %s, %s", opnd(in.A), opnd(in.B))
+	case OpLoadS:
+		return fmt.Sprintf("%sloads %s", dst(), sname())
+	case OpStoreS:
+		return fmt.Sprintf("stores %s, %s", sname(), opnd(in.A))
+	case OpAlloc:
+		return fmt.Sprintf("%salloc %s", dst(), opnd(in.A))
+	case OpFree:
+		return fmt.Sprintf("free %s", opnd(in.A))
+	case OpLock:
+		return fmt.Sprintf("lock %s", opnd(in.A))
+	case OpTimedLock:
+		return fmt.Sprintf("%stimedlock %s, %d", dst(), opnd(in.A), in.Timeout)
+	case OpUnlock:
+		return fmt.Sprintf("unlock %s", opnd(in.A))
+	case OpCall:
+		if in.HasDst() {
+			return dst() + "call " + callArgs()
+		}
+		return "call " + callArgs()
+	case OpSpawn:
+		return dst() + "spawn " + callArgs()
+	case OpJoin:
+		return fmt.Sprintf("join %s", opnd(in.A))
+	case OpOutput:
+		return fmt.Sprintf("output %q, %s", in.Text, opnd(in.A))
+	case OpAssert:
+		kw := "assert"
+		if in.AssertKind == AssertOracle {
+			kw = "oracle"
+		}
+		return fmt.Sprintf("%s %s, %q", kw, opnd(in.A), in.Text)
+	case OpYield:
+		return "yield"
+	case OpSleep:
+		return fmt.Sprintf("sleep %s", opnd(in.A))
+	case OpNop:
+		return "nop"
+	case OpCheckpoint:
+		return fmt.Sprintf("checkpoint %d", in.Site)
+	case OpRollback:
+		return fmt.Sprintf("rollback %d, %d", in.Site, in.MaxRetry)
+	case OpFail:
+		return fmt.Sprintf("fail %s, %q", in.FailKind, in.Text)
+	case OpSleepRand:
+		return fmt.Sprintf("sleeprand %s", opnd(in.A))
+	case OpBr:
+		return fmt.Sprintf("br %s, %s, %s", opnd(in.A), blk(in.Then), blk(in.Else))
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", blk(in.Then))
+	case OpRet:
+		if in.A.Kind == OperandNone {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", opnd(in.A))
+	}
+	return fmt.Sprintf("<%s?>", in.Op)
+}

@@ -1,0 +1,139 @@
+package mir
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// VerifyError collects every structural problem found in a module so a
+// caller can fix them in one pass.
+type VerifyError struct {
+	Problems []string
+}
+
+// Error joins the problems, one per line.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("mir verify: %d problem(s):\n  %s",
+		len(e.Problems), strings.Join(e.Problems, "\n  "))
+}
+
+// Verify checks the structural well-formedness of a module: blocks are
+// non-empty and end in exactly one terminator, operand/register/global/
+// slot/function/block indices are in range, destination registers exist
+// where required, and a "main" function, if present, takes no parameters.
+// The interpreter and the analyses assume a verified module.
+func Verify(m *Module) error {
+	var probs []string
+	bad := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+
+	for fi := range m.Functions {
+		f := &m.Functions[fi]
+		if f.Name == "" {
+			bad("function #%d has no name", fi)
+		}
+		if f.NumParams > len(f.RegNames) {
+			bad("%s: %d params but %d registers", f.Name, f.NumParams, len(f.RegNames))
+		}
+		if len(f.Blocks) == 0 {
+			bad("%s: no blocks", f.Name)
+			continue
+		}
+		if f.Name == "main" && f.NumParams != 0 {
+			bad("main must take no parameters, has %d", f.NumParams)
+		}
+		for bi := range f.Blocks {
+			blk := &f.Blocks[bi]
+			where := func(ii int) string {
+				return fmt.Sprintf("%s/%s[%d]", f.Name, blk.Name, ii)
+			}
+			if len(blk.Instrs) == 0 {
+				bad("%s/%s: empty block", f.Name, blk.Name)
+				continue
+			}
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				isLast := ii == len(blk.Instrs)-1
+				if in.Op.IsTerminator() != isLast {
+					if isLast {
+						bad("%s: block does not end in a terminator", where(ii))
+					} else {
+						bad("%s: terminator %s in the middle of a block", where(ii), in.Op)
+					}
+				}
+				checkOperand := func(o Operand, what string) {
+					if o.Kind == OperandReg && (o.Reg < 0 || o.Reg >= len(f.RegNames)) {
+						bad("%s: %s register %d out of range", where(ii), what, o.Reg)
+					}
+				}
+				checkOperand(in.A, "A")
+				checkOperand(in.B, "B")
+				for ai, a := range in.Args {
+					checkOperand(a, fmt.Sprintf("arg%d", ai))
+				}
+				if in.Dst >= len(f.RegNames) {
+					bad("%s: dst register %d out of range", where(ii), in.Dst)
+				}
+				switch in.Op {
+				case OpConst, OpBin, OpLoadG, OpAddrG, OpLoad, OpLoadS,
+					OpAlloc, OpTimedLock, OpSpawn:
+					if in.Dst < 0 {
+						bad("%s: %s requires a destination register", where(ii), in.Op)
+					}
+				}
+				switch in.Op {
+				case OpLoadG, OpStoreG, OpAddrG:
+					if in.Global < 0 || in.Global >= len(m.Globals) {
+						bad("%s: global %d out of range", where(ii), in.Global)
+					}
+				case OpLoadS, OpStoreS:
+					if in.Slot < 0 || in.Slot >= len(f.SlotNames) {
+						bad("%s: slot %d out of range", where(ii), in.Slot)
+					}
+				case OpCall, OpSpawn:
+					if in.Callee < 0 || in.Callee >= len(m.Functions) {
+						bad("%s: callee %d out of range", where(ii), in.Callee)
+					} else if want := m.Functions[in.Callee].NumParams; want != len(in.Args) {
+						bad("%s: %s %s expects %d args, got %d",
+							where(ii), in.Op, m.Functions[in.Callee].Name, want, len(in.Args))
+					}
+				case OpBr:
+					if in.A.Kind == OperandNone {
+						bad("%s: br without condition", where(ii))
+					}
+					if in.Then < 0 || in.Then >= len(f.Blocks) {
+						bad("%s: br then-target %d out of range", where(ii), in.Then)
+					}
+					if in.Else < 0 || in.Else >= len(f.Blocks) {
+						bad("%s: br else-target %d out of range", where(ii), in.Else)
+					}
+				case OpJmp:
+					if in.Then < 0 || in.Then >= len(f.Blocks) {
+						bad("%s: jmp target %d out of range", where(ii), in.Then)
+					}
+				case OpAssert:
+					if in.A.Kind == OperandNone {
+						bad("%s: assert without condition", where(ii))
+					}
+				case OpTimedLock:
+					if in.Timeout <= 0 {
+						bad("%s: timedlock with non-positive timeout", where(ii))
+					}
+				case OpRollback:
+					if in.MaxRetry <= 0 {
+						bad("%s: rollback with non-positive retry bound", where(ii))
+					}
+				}
+			}
+		}
+	}
+	if len(probs) == 0 {
+		return nil
+	}
+	return &VerifyError{Problems: probs}
+}
+
+// ErrNoMain is returned by entry-point lookups on modules without main.
+var ErrNoMain = errors.New("mir: module has no main function")

@@ -1,0 +1,319 @@
+// Package mirgen generates random, well-formed, terminating, failure-free
+// MIR programs for differential testing of the ConAir pipeline.
+//
+// The generated programs exercise every instruction class the analyses
+// reason about — register arithmetic, stack slots, globals, heap blocks,
+// always-true assertions, outputs, nested and lone locks, calls, bounded
+// loops and branches, and optionally worker threads — while guaranteeing
+// that an unhardened run never fails and always terminates. That makes
+// them ideal oracles for the paper's correctness property ("ConAir
+// guarantees that program semantics remain unchanged"): the hardened
+// program must complete with identical observable results.
+//
+// Multi-threaded programs are generated so their observable results are
+// interleaving-independent (workers mutate disjoint or lock-protected
+// state; outputs happen after joins), since hardening legitimately
+// perturbs scheduling.
+package mirgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"conair/internal/mir"
+)
+
+// Config sizes a generated program.
+type Config struct {
+	Seed int64
+	// Funcs is the number of helper functions (callable from main and
+	// each other, acyclically). Default 3.
+	Funcs int
+	// StmtsPerFunc is the approximate statement budget per function.
+	// Default 12.
+	StmtsPerFunc int
+	// Threads is the number of worker threads main spawns. 0 generates a
+	// single-threaded program whose outputs must match exactly under
+	// hardening. Default 0.
+	Threads int
+	// Globals is the shared-cell pool size. Default 6.
+	Globals int
+	// InjectBug embeds a forced order violation: a reader thread asserts
+	// on an initialization flag that a second thread publishes late. The
+	// unhardened program then fails deterministically, and a hardened one
+	// must recover — the recovery-fuzzing counterpart to the
+	// semantics-preservation properties.
+	InjectBug bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Funcs <= 0 {
+		c.Funcs = 3
+	}
+	if c.StmtsPerFunc <= 0 {
+		c.StmtsPerFunc = 12
+	}
+	if c.Globals <= 0 {
+		c.Globals = 6
+	}
+	return c
+}
+
+// Gen builds a random program for the configuration. Identical configs
+// generate identical programs.
+func Gen(cfg Config) *mir.Module {
+	cfg = cfg.withDefaults()
+	g := &gen{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		b:   mir.NewBuilder(fmt.Sprintf("gen-%d", cfg.Seed)),
+	}
+	return g.module()
+}
+
+type gen struct {
+	cfg  Config
+	rng  *rand.Rand
+	b    *mir.Builder
+	gids []int // data globals
+	lids []int // lock globals (lockable in ascending order only)
+	// counterGids are globals reserved for lock-protected worker updates.
+	counterGids []int
+	funcNames   []string
+	nreg        int
+}
+
+func (g *gen) module() *mir.Module {
+	for i := 0; i < g.cfg.Globals; i++ {
+		g.gids = append(g.gids, g.b.Global(fmt.Sprintf("g%d", i), int64(g.rng.Intn(50))))
+	}
+	for i := 0; i < 3; i++ {
+		g.lids = append(g.lids, g.b.Global(fmt.Sprintf("lk%d", i), 0))
+	}
+	for i := 0; i < 2; i++ {
+		g.counterGids = append(g.counterGids, g.b.Global(fmt.Sprintf("cnt%d", i), 0))
+	}
+
+	// Helper functions, generated leaf-first so calls are acyclic.
+	for i := 0; i < g.cfg.Funcs; i++ {
+		name := fmt.Sprintf("helper%d", i)
+		f := g.b.Func(name, "p0")
+		g.body(f, i, false)
+		v := g.value(f)
+		f.Ret(v)
+		g.funcNames = append(g.funcNames, name)
+	}
+
+	if g.cfg.Threads > 0 {
+		// Worker: lock-protected counter updates plus private work; the
+		// observable effect (counter increments) commutes across any
+		// interleaving.
+		w := g.b.Func("worker", "n")
+		g.body(w, 0, true) // no calls, no outputs, no unprotected writes
+		lk := w.AddrG("lkp", g.lids[0])
+		w.Lock(lk)
+		c := w.LoadG("c", g.counterGids[0])
+		c1 := w.Bin("c1", mir.BinAdd, c, w.R("n"))
+		w.StoreG(g.counterGids[0], c1)
+		w.Unlock(lk)
+		w.Ret(mir.None)
+	}
+
+	var bugFlag int
+	if g.cfg.InjectBug {
+		bugFlag = g.b.Global("bug_flag", 0)
+
+		// The failing thread: reads the flag somewhere inside otherwise
+		// ordinary work and asserts it is set.
+		rd := g.b.Func("bugreader")
+		g.body(rd, 0, true)
+		fv := rd.LoadG("fv", bugFlag)
+		rd.Assert(fv, "injected: flag read before initialization")
+		rd.Ret(mir.None)
+
+		// The late initializer.
+		wr := g.b.Func("bugwriter")
+		wr.Sleep(mir.Imm(mir.Word(150 + g.rng.Intn(400))))
+		wr.StoreG(bugFlag, mir.Imm(1))
+		wr.Ret(mir.None)
+	}
+
+	m := g.b.Func("main")
+	if g.cfg.InjectBug {
+		tw := m.Spawn("bw", "bugwriter")
+		tr := m.Spawn("br", "bugreader")
+		// Main keeps doing concurrent-safe work while the race unfolds.
+		g.body(m, len(g.funcNames), true)
+		m.Join(tr)
+		m.Join(tw)
+		m.Ret(mir.Imm(0))
+		return g.b.MustModule()
+	}
+	if g.cfg.Threads > 0 {
+		var tids []mir.Operand
+		for i := 0; i < g.cfg.Threads; i++ {
+			tids = append(tids, m.Spawn(fmt.Sprintf("t%d", i), "worker", mir.Imm(int64(i+1))))
+		}
+		g.body(m, len(g.funcNames), true)
+		for _, t := range tids {
+			m.Join(t)
+		}
+		// Deterministic observables after all joins.
+		sum := m.LoadG("sum", g.counterGids[0])
+		m.Output("counter", sum)
+		m.Ret(sum)
+	} else {
+		g.body(m, len(g.funcNames), false)
+		// Output every data global: the full observable state.
+		for i, gid := range g.gids {
+			v := m.LoadG(fmt.Sprintf("out%d", i), gid)
+			m.Output(fmt.Sprintf("g%d", i), v)
+		}
+		ret := g.value(m)
+		m.Ret(ret)
+	}
+	return g.b.MustModule()
+}
+
+// reg returns a fresh register name.
+func (g *gen) reg() string {
+	g.nreg++
+	return fmt.Sprintf("r%d", g.nreg)
+}
+
+// value produces an operand: an immediate or a register computed from
+// prior state.
+func (g *gen) value(f *mir.FuncBuilder) mir.Operand {
+	switch g.rng.Intn(3) {
+	case 0:
+		return mir.Imm(int64(g.rng.Intn(100)))
+	case 1:
+		return f.LoadG(g.reg(), g.gids[g.rng.Intn(len(g.gids))])
+	default:
+		a := mir.Imm(int64(g.rng.Intn(50)))
+		b := f.LoadG(g.reg(), g.gids[g.rng.Intn(len(g.gids))])
+		ops := []mir.BinOp{mir.BinAdd, mir.BinSub, mir.BinMul, mir.BinXor, mir.BinAnd, mir.BinOr}
+		return f.Bin(g.reg(), ops[g.rng.Intn(len(ops))], a, b)
+	}
+}
+
+// body emits a random statement sequence. mt suppresses statements whose
+// observable effect would depend on thread interleaving (outputs and
+// shared-global writes while workers run).
+func (g *gen) body(f *mir.FuncBuilder, callBudget int, mt bool) {
+	n := g.cfg.StmtsPerFunc/2 + g.rng.Intn(g.cfg.StmtsPerFunc)
+	for i := 0; i < n; i++ {
+		g.stmt(f, callBudget, mt)
+	}
+}
+
+func (g *gen) stmt(f *mir.FuncBuilder, callBudget int, mt bool) {
+	const kinds = 10
+	switch k := g.rng.Intn(kinds); k {
+	case 0: // register arithmetic
+		a := g.value(f)
+		b := g.value(f)
+		f.Bin(g.reg(), mir.BinAdd, a, b)
+
+	case 1: // global write (single-threaded only: workers race otherwise)
+		if mt {
+			f.Nop()
+			return
+		}
+		f.StoreG(g.gids[g.rng.Intn(len(g.gids))], g.value(f))
+
+	case 2: // stack slot round trip
+		slot := fmt.Sprintf("s%d", g.rng.Intn(3))
+		f.StoreS(slot, g.value(f))
+		f.LoadS(g.reg(), slot)
+
+	case 3: // heap block: alloc, store, load, free (private to the frame)
+		size := int64(2 + g.rng.Intn(4))
+		p := f.Alloc(g.reg(), mir.Imm(size))
+		idx := mir.Imm(int64(g.rng.Intn(int(size))))
+		addr := f.Bin(g.reg(), mir.BinAdd, p, idx)
+		f.Store(addr, g.value(f))
+		f.Load(g.reg(), addr)
+		if g.rng.Intn(2) == 0 {
+			f.Free(p)
+		}
+
+	case 4: // always-true assertion (three shapes)
+		v := g.value(f)
+		switch g.rng.Intn(3) {
+		case 0:
+			c := f.Bin(g.reg(), mir.BinEq, v, v)
+			f.Assert(c, "gen: v == v")
+		case 1:
+			c := f.Bin(g.reg(), mir.BinOr, v, mir.Imm(1))
+			f.Assert(c, "gen: v|1 != 0")
+		default:
+			masked := f.Bin(g.reg(), mir.BinAnd, v, mir.Imm(255))
+			c := f.Bin(g.reg(), mir.BinGe, masked, mir.Imm(0))
+			f.Assert(c, "gen: (v&255) >= 0")
+		}
+
+	case 5: // output (single-threaded only: ordering is observable)
+		if mt {
+			f.Yield()
+			return
+		}
+		f.Output("gen", g.value(f))
+
+	case 6: // nested or lone lock over a protected update, ascending order
+		li := g.rng.Intn(len(g.lids) - 1)
+		outer := f.AddrG(g.reg(), g.lids[li])
+		f.Lock(outer)
+		if g.rng.Intn(2) == 0 {
+			inner := f.AddrG(g.reg(), g.lids[li+1])
+			f.Lock(inner)
+			c := f.LoadG(g.reg(), g.counterGids[1])
+			c1 := f.Bin(g.reg(), mir.BinAdd, c, mir.Imm(1))
+			f.StoreG(g.counterGids[1], c1)
+			f.Unlock(inner)
+		}
+		f.Unlock(outer)
+
+	case 7: // call a helper (acyclic: only lower-numbered helpers).
+		// Concurrent contexts never call helpers: helper bodies contain
+		// outputs and unprotected global writes, which are only safe on
+		// the main thread.
+		if callBudget <= 0 || mt {
+			f.Nop()
+			return
+		}
+		callee := g.funcNames[g.rng.Intn(min(callBudget, len(g.funcNames)))]
+		f.Call(g.reg(), callee, g.value(f))
+
+	case 8: // bounded loop: fixed trip count over register work
+		trips := int64(2 + g.rng.Intn(6))
+		iv := g.reg()
+		f.Const(iv, 0)
+		loop := f.Label(fmt.Sprintf("loop%d", g.nreg))
+		acc := g.value(f)
+		f.Bin(g.reg(), mir.BinAdd, acc, mir.Imm(1))
+		f.Bin(iv, mir.BinAdd, f.R(iv), mir.Imm(1))
+		c := f.Bin(g.reg(), mir.BinLt, f.R(iv), mir.Imm(trips))
+		after := f.NewBlock(fmt.Sprintf("after%d", g.nreg))
+		f.Br(c, loop, after)
+		f.SetBlock(after)
+
+	default: // if/else diamond on an arbitrary condition
+		c := g.value(f)
+		then := f.NewBlock(fmt.Sprintf("then%d", g.nreg))
+		els := f.NewBlock(fmt.Sprintf("else%d", g.nreg))
+		join := f.NewBlock(fmt.Sprintf("join%d", g.nreg))
+		f.Br(c, then, els)
+		f.SetBlock(then)
+		if !mt {
+			f.StoreG(g.gids[g.rng.Intn(len(g.gids))], g.value(f))
+		} else {
+			f.Bin(g.reg(), mir.BinAdd, g.value(f), mir.Imm(1))
+		}
+		f.Jmp(join)
+		f.SetBlock(els)
+		f.Bin(g.reg(), mir.BinXor, g.value(f), mir.Imm(3))
+		f.Jmp(join)
+		f.SetBlock(join)
+	}
+}

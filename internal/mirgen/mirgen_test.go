@@ -1,0 +1,218 @@
+package mirgen
+
+import (
+	"fmt"
+	"testing"
+
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+	"conair/internal/transform"
+)
+
+func run(m *mir.Module, seed int64) *interp.Result {
+	return interp.RunModule(m, interp.Config{
+		Sched: sched.NewRandom(seed), MaxSteps: 20_000_000, CollectOutput: true,
+	})
+}
+
+// Generated programs must be deterministic per seed and failure-free.
+func TestGeneratedProgramsAreWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		m := Gen(Config{Seed: seed})
+		if err := mir.Verify(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := run(m, 1)
+		if !r.Completed {
+			t.Fatalf("seed %d: generated program failed: %v\n%s", seed, r.Failure, mir.Print(m))
+		}
+		// Same config generates the same program.
+		if mir.Print(Gen(Config{Seed: seed})) != mir.Print(m) {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+	}
+}
+
+// Generated programs round-trip through the textual syntax.
+func TestGeneratedProgramsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := Gen(Config{Seed: seed, Threads: int(seed % 3)})
+		text := mir.Print(m)
+		m2, err := mir.Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if mir.Print(m2) != text {
+			t.Fatalf("seed %d: print not a fixed point", seed)
+		}
+	}
+}
+
+// The paper's correctness property, checked differentially: hardening a
+// failure-free single-threaded program must preserve its exact observable
+// behaviour — every output event (text and value, in order), the exit
+// code — and must never roll back.
+func TestDifferentialSemanticPreservationSingleThreaded(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		m := Gen(Config{Seed: seed})
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: harden: %v", seed, err)
+		}
+		if err := transform.CheckInvariants(h.Module, h.Report.Analysis); err != nil {
+			t.Fatalf("seed %d: invariants: %v", seed, err)
+		}
+		orig := run(m, 1)
+		hard := run(h.Module, 1)
+		if !orig.Completed || !hard.Completed {
+			t.Fatalf("seed %d: orig=%v hard=%v", seed, orig.Failure, hard.Failure)
+		}
+		if orig.ExitCode != hard.ExitCode {
+			t.Fatalf("seed %d: exit %d vs %d", seed, orig.ExitCode, hard.ExitCode)
+		}
+		if err := sameOutput(orig, hard); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, mir.Print(m))
+		}
+		if hard.Stats.Rollbacks != 0 {
+			t.Fatalf("seed %d: failure-free run rolled back %d times", seed, hard.Stats.Rollbacks)
+		}
+	}
+}
+
+// Multi-threaded generated programs have interleaving-independent
+// observables; hardened runs must reproduce them under every scheduler
+// seed even though hardening perturbs the interleaving.
+func TestDifferentialSemanticPreservationMultiThreaded(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		m := Gen(Config{Seed: seed, Threads: 2 + int(seed%3)})
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: harden: %v", seed, err)
+		}
+		ref := run(m, 1)
+		if !ref.Completed {
+			t.Fatalf("seed %d: reference run failed: %v", seed, ref.Failure)
+		}
+		for _, schedSeed := range []int64{1, 7, 99} {
+			hard := run(h.Module, schedSeed)
+			if !hard.Completed {
+				t.Fatalf("seed %d/%d: hardened failed: %v", seed, schedSeed, hard.Failure)
+			}
+			if hard.ExitCode != ref.ExitCode {
+				t.Fatalf("seed %d/%d: exit %d, want %d", seed, schedSeed, hard.ExitCode, ref.ExitCode)
+			}
+			if err := sameOutput(ref, hard); err != nil {
+				t.Fatalf("seed %d/%d: %v", seed, schedSeed, err)
+			}
+		}
+	}
+}
+
+// Fix mode on a generated program: pick each assertion in main as the fix
+// site; hardening must still preserve behaviour.
+func TestDifferentialFixMode(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := Gen(Config{Seed: seed})
+		pos, err := firstSite(m)
+		if err != nil {
+			continue // no sites in this program: nothing to fix
+		}
+		h, err := core.Harden(m, core.FixOptions(pos))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		orig := run(m, 1)
+		hard := run(h.Module, 1)
+		if !hard.Completed || hard.ExitCode != orig.ExitCode {
+			t.Fatalf("seed %d: fix-mode divergence: %v", seed, hard.Failure)
+		}
+		if err := sameOutput(orig, hard); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// Recovery fuzzing: random programs with an injected order violation fail
+// unprotected and must recover once hardened, in both survival and fix
+// mode, across scheduler seeds.
+func TestRecoveryFuzzInjectedBug(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		m := Gen(Config{Seed: seed, InjectBug: true})
+		plain := run(m, 1)
+		if plain.Completed || plain.Failure.Kind != mir.FailAssert {
+			t.Fatalf("seed %d: injected bug did not manifest: %+v", seed, plain.Failure)
+		}
+
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := transform.CheckInvariants(h.Module, h.Report.Analysis); err != nil {
+			t.Fatalf("seed %d: invariants: %v", seed, err)
+		}
+		for _, s := range []int64{1, 13} {
+			r := run(h.Module, s)
+			if !r.Completed {
+				t.Fatalf("seed %d/%d: survival hardening did not recover: %v\n%s",
+					seed, s, r.Failure, mir.Print(m))
+			}
+			if r.Stats.Rollbacks == 0 {
+				t.Fatalf("seed %d/%d: recovery without rollbacks?", seed, s)
+			}
+		}
+
+		// Fix mode on the injected assert.
+		ri := m.FuncIndex("bugreader")
+		f := &m.Functions[ri]
+		var pos mir.Pos
+		found := false
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				if f.Blocks[bi].Instrs[ii].Op == mir.OpAssert {
+					pos = mir.Pos{Fn: ri, Block: bi, Index: ii}
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: injected assert not found", seed)
+		}
+		hf, err := core.Harden(m, core.FixOptions(pos))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r := run(hf.Module, 1); !r.Completed {
+			t.Fatalf("seed %d: fix hardening did not recover: %v", seed, r.Failure)
+		}
+	}
+}
+
+func sameOutput(a, b *interp.Result) error {
+	if len(a.Output) != len(b.Output) {
+		return fmt.Errorf("output length %d vs %d", len(a.Output), len(b.Output))
+	}
+	for i := range a.Output {
+		if a.Output[i].Text != b.Output[i].Text || a.Output[i].Value != b.Output[i].Value {
+			return fmt.Errorf("output[%d]: %q=%d vs %q=%d", i,
+				a.Output[i].Text, a.Output[i].Value, b.Output[i].Text, b.Output[i].Value)
+		}
+	}
+	return nil
+}
+
+// firstSite finds any failure site in main to use as a fix target.
+func firstSite(m *mir.Module) (mir.Pos, error) {
+	mi := m.Main()
+	f := &m.Functions[mi]
+	for bi := range f.Blocks {
+		for ii := range f.Blocks[bi].Instrs {
+			switch f.Blocks[bi].Instrs[ii].Op {
+			case mir.OpAssert, mir.OpLoad, mir.OpStore, mir.OpLock:
+				return mir.Pos{Fn: mi, Block: bi, Index: ii}, nil
+			}
+		}
+	}
+	return mir.Pos{}, fmt.Errorf("no sites")
+}

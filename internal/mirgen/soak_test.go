@@ -1,0 +1,64 @@
+package mirgen
+
+import (
+	"testing"
+
+	"conair/internal/core"
+	"conair/internal/mir"
+	"conair/internal/transform"
+)
+
+// Soak runs: a wider sweep of the differential and recovery fuzzers, for
+// CI-style long runs. Skipped with -short.
+func TestSoakDifferentialAndRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	// Differential sweep over bigger programs.
+	for seed := int64(1000); seed < 1250; seed++ {
+		m := Gen(Config{Seed: seed, Funcs: 5, StmtsPerFunc: 24})
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := transform.CheckInvariants(h.Module, h.Report.Analysis); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		orig := run(m, 1)
+		hard := run(h.Module, 1)
+		if !orig.Completed || !hard.Completed || orig.ExitCode != hard.ExitCode {
+			t.Fatalf("seed %d: divergence (orig %v/%d, hard %v/%d)", seed,
+				orig.Completed, orig.ExitCode, hard.Completed, hard.ExitCode)
+		}
+		if err := sameOutput(orig, hard); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, mir.Print(m))
+		}
+	}
+	// Recovery sweep.
+	for seed := int64(2000); seed < 2100; seed++ {
+		m := Gen(Config{Seed: seed, InjectBug: true, StmtsPerFunc: 20})
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r := run(h.Module, 1); !r.Completed {
+			t.Fatalf("seed %d: not recovered: %v", seed, r.Failure)
+		}
+	}
+	// Safe-site pruning must never prune a site that can actually fault:
+	// hardened-with-pruning still completes and behaves identically.
+	for seed := int64(3000); seed < 3100; seed++ {
+		m := Gen(Config{Seed: seed, StmtsPerFunc: 20})
+		opts := core.DefaultOptions()
+		opts.PruneSafeSites = true
+		h, err := core.Harden(m, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		orig := run(m, 1)
+		hard := run(h.Module, 1)
+		if !hard.Completed || hard.ExitCode != orig.ExitCode {
+			t.Fatalf("seed %d: safe-pruned divergence: %v", seed, hard.Failure)
+		}
+	}
+}

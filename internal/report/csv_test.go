@@ -1,0 +1,37 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRendering(t *testing.T) {
+	tb := NewTable("Title Here", "a", "b")
+	tb.Row("plain", 1)
+	tb.Row("needs,quote", `has "quotes"`)
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "# Title Here" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if lines[1] != "a,b" {
+		t.Errorf("header = %q", lines[1])
+	}
+	if lines[2] != "plain,1" {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+	if lines[3] != `"needs,quote","has ""quotes"""` {
+		t.Errorf("row 2 = %q", lines[3])
+	}
+}
+
+func TestCSVNoTitleNoHeader(t *testing.T) {
+	tb := NewTable("")
+	tb.Row("x", "y")
+	if got := tb.CSV(); got != "x,y\n" {
+		t.Errorf("csv = %q", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package report renders experiment results as aligned text tables, the
+// format the bench harness (cmd/conair-bench) prints for side-by-side
+// comparison with the paper's tables.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	all := make([][]string, 0, len(t.rows)+1)
+	if len(t.header) > 0 {
+		all = append(all, t.header)
+	}
+	all = append(all, t.rows...)
+	// Column widths.
+	var widths []int
+	for _, row := range all {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	write := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(row)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		write(t.header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		sb.WriteString(strings.Repeat("-", max(total-2, 1)))
+		sb.WriteByte('\n')
+	}
+	for _, row := range t.rows {
+		write(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (RFC 4180 quoting),
+// header first; the title becomes a leading comment line.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("# ")
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+	}
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// Check renders the paper's X / Xc / - markers.
+func Check(ok, conditional bool) string {
+	switch {
+	case ok && conditional:
+		return "yes*"
+	case ok:
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("My Title", "App", "Value")
+	tb.Row("short", 1)
+	tb.Row("a-much-longer-name", 123456)
+	out := tb.String()
+	if !strings.Contains(out, "My Title") || !strings.Contains(out, "====") {
+		t.Errorf("missing title/underline:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var appCol []int
+	for _, l := range lines {
+		if strings.Contains(l, "123456") || strings.Contains(l, "short") {
+			appCol = append(appCol, strings.Index(l, strings.Fields(l)[1]))
+		}
+	}
+	// The second column must start at the same offset in every data row.
+	if len(appCol) != 2 || appCol[0] != appCol[1] {
+		t.Errorf("columns not aligned: %v\n%s", appCol, out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.Row(3.14159)
+	if !strings.Contains(tb.String(), "3.14") {
+		t.Errorf("float not formatted: %s", tb.String())
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tb := NewTable("")
+	tb.Row("a", "b")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("separator without header:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.256); got != "25.60%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	cases := []struct {
+		ok, cond bool
+		want     string
+	}{
+		{true, false, "yes"},
+		{true, true, "yes*"},
+		{false, false, "no"},
+		{false, true, "no"},
+	}
+	for _, c := range cases {
+		if got := Check(c.ok, c.cond); got != c.want {
+			t.Errorf("Check(%v,%v) = %q, want %q", c.ok, c.cond, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package sched
+
+import "testing"
+
+func TestPCTDeterministicPerSeed(t *testing.T) {
+	a := NewPCT(3, 3, 1000)
+	b := NewPCT(3, 3, 1000)
+	run := []int{1, 2, 3}
+	for i := int64(0); i < 200; i++ {
+		if a.Pick(run, i) != b.Pick(run, i) {
+			t.Fatal("same seed must give the same schedule")
+		}
+	}
+	if a.Name() != "pct" {
+		t.Errorf("name = %q", a.Name())
+	}
+}
+
+func TestPCTPicksFromRunnable(t *testing.T) {
+	s := NewPCT(1, 4, 500)
+	for i := int64(0); i < 500; i++ {
+		run := []int{int(i % 3), 3 + int(i%2)}
+		p := s.Pick(run, i)
+		ok := false
+		for _, r := range run {
+			if r == p {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("step %d: picked %d not in %v", i, p, run)
+		}
+	}
+}
+
+func TestPCTPrioritiesAreStableBetweenChangePoints(t *testing.T) {
+	// With d=1 there are no change points: the highest-priority runnable
+	// thread runs every step, so picks over a fixed runnable set are
+	// constant.
+	s := NewPCT(7, 1, 1000)
+	run := []int{4, 5, 6}
+	first := s.Pick(run, 0)
+	for i := int64(1); i < 100; i++ {
+		if got := s.Pick(run, i); got != first {
+			t.Fatalf("step %d: pick changed from %d to %d without a change point", i, first, got)
+		}
+	}
+}
+
+func TestPCTDemotionChangesChoice(t *testing.T) {
+	// With many change points over a short horizon, demotions must cause
+	// at least one switch among always-runnable threads.
+	s := NewPCT(11, 8, 64)
+	run := []int{1, 2}
+	seen := map[int]bool{}
+	for i := int64(0); i < 64; i++ {
+		seen[s.Pick(run, i)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("expected at least one priority demotion to switch threads")
+	}
+}

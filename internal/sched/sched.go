@@ -1,0 +1,113 @@
+// Package sched provides the thread schedulers used by the MIR interpreter.
+//
+// ConAir's evaluation methodology depends on controlling interleavings: the
+// paper injects sleeps into buggy regions so the failure-inducing
+// interleaving occurs with ~100% probability, then repeats runs 1000 times.
+// The interpreter reproduces that with deterministic, seeded schedulers:
+// the same (program, scheduler, seed) triple always yields the same
+// interleaving, so experiments are exactly repeatable.
+package sched
+
+import "math/rand"
+
+// Scheduler picks which runnable thread executes the next instruction. A
+// scheduler is also the interpreter's source of randomness (for the
+// sleeprand livelock-avoidance instruction), keeping whole runs
+// reproducible from one seed.
+type Scheduler interface {
+	// Pick returns an element of runnable. runnable is never empty and is
+	// sorted by thread id.
+	Pick(runnable []int, step int64) int
+	// Intn returns a uniform value in [0, n); n > 0.
+	Intn(n int) int
+	// Name identifies the scheduler in reports.
+	Name() string
+}
+
+// Random schedules uniformly at random among runnable threads.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random scheduler.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Scheduler.
+func (r *Random) Pick(runnable []int, _ int64) int {
+	return runnable[r.rng.Intn(len(runnable))]
+}
+
+// Intn implements Scheduler.
+func (r *Random) Intn(n int) int { return r.rng.Intn(n) }
+
+// Name implements Scheduler.
+func (r *Random) Name() string { return "random" }
+
+// RoundRobin rotates through runnable threads, switching after quantum
+// instructions (quantum 1 interleaves maximally; a large quantum
+// approximates run-to-block).
+type RoundRobin struct {
+	quantum int64
+	rng     *rand.Rand
+}
+
+// NewRoundRobin returns a round-robin scheduler with the given quantum.
+// The seed only feeds Intn (used by sleeprand).
+func NewRoundRobin(quantum int64, seed int64) *RoundRobin {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &RoundRobin{quantum: quantum, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(runnable []int, step int64) int {
+	return runnable[int(step/r.quantum)%len(runnable)]
+}
+
+// Intn implements Scheduler.
+func (r *RoundRobin) Intn(n int) int { return r.rng.Intn(n) }
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Scripted replays a fixed prefix of thread choices, then falls back to a
+// seeded random scheduler. It pins down one exact interleaving prefix —
+// the forced buggy interleaving — while letting the rest of the run proceed
+// normally.
+type Scripted struct {
+	script []int
+	pos    int
+	fall   *Random
+}
+
+// NewScripted returns a scheduler that prefers the scripted thread ids in
+// order; when the scripted thread is not runnable the entry is retried at
+// the next step (the scripted thread may be sleeping deliberately).
+func NewScripted(script []int, seed int64) *Scripted {
+	return &Scripted{script: script, fall: NewRandom(seed)}
+}
+
+// Pick implements Scheduler.
+func (s *Scripted) Pick(runnable []int, step int64) int {
+	if s.pos < len(s.script) {
+		want := s.script[s.pos]
+		for _, t := range runnable {
+			if t == want {
+				s.pos++
+				return t
+			}
+		}
+		// The wanted thread is blocked or sleeping: let someone else run
+		// without consuming the script entry.
+	}
+	return s.fall.Pick(runnable, step)
+}
+
+// Intn implements Scheduler.
+func (s *Scripted) Intn(n int) int { return s.fall.Intn(n) }
+
+// Name implements Scheduler.
+func (s *Scripted) Name() string { return "scripted" }

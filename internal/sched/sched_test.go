@@ -1,0 +1,101 @@
+package sched
+
+import "testing"
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, b := NewRandom(5), NewRandom(5)
+	run := []int{3, 7, 9}
+	for i := int64(0); i < 100; i++ {
+		if a.Pick(run, i) != b.Pick(run, i) {
+			t.Fatal("same seed must give same picks")
+		}
+	}
+	if a.Name() != "random" {
+		t.Errorf("name = %q", a.Name())
+	}
+}
+
+func TestRandomPicksFromRunnable(t *testing.T) {
+	s := NewRandom(1)
+	run := []int{4, 8}
+	seen := map[int]bool{}
+	for i := int64(0); i < 200; i++ {
+		p := s.Pick(run, i)
+		if p != 4 && p != 8 {
+			t.Fatalf("picked %d not in runnable", p)
+		}
+		seen[p] = true
+	}
+	if !seen[4] || !seen[8] {
+		t.Error("random scheduler never picked one of the threads")
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	s := NewRoundRobin(1, 0)
+	run := []int{1, 2}
+	got := []int{
+		s.Pick(run, 0), s.Pick(run, 1), s.Pick(run, 2), s.Pick(run, 3),
+	}
+	want := []int{1, 2, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinQuantum(t *testing.T) {
+	s := NewRoundRobin(3, 0)
+	run := []int{5, 6}
+	for i := int64(0); i < 3; i++ {
+		if p := s.Pick(run, i); p != 5 {
+			t.Fatalf("step %d: got %d, want 5", i, p)
+		}
+	}
+	if p := s.Pick(run, 3); p != 6 {
+		t.Fatalf("after quantum: got %d, want 6", p)
+	}
+}
+
+func TestScriptedPrefix(t *testing.T) {
+	s := NewScripted([]int{2, 2, 1}, 0)
+	run := []int{1, 2}
+	if p := s.Pick(run, 0); p != 2 {
+		t.Fatalf("scripted pick 0 = %d", p)
+	}
+	if p := s.Pick(run, 1); p != 2 {
+		t.Fatalf("scripted pick 1 = %d", p)
+	}
+	if p := s.Pick(run, 2); p != 1 {
+		t.Fatalf("scripted pick 2 = %d", p)
+	}
+	// Script exhausted: falls back to random but stays within runnable.
+	for i := int64(3); i < 50; i++ {
+		p := s.Pick(run, i)
+		if p != 1 && p != 2 {
+			t.Fatalf("fallback picked %d", p)
+		}
+	}
+}
+
+func TestScriptedSkipsBlockedWithoutConsuming(t *testing.T) {
+	s := NewScripted([]int{3}, 0)
+	// Thread 3 not runnable yet: entry must not be consumed.
+	if p := s.Pick([]int{1}, 0); p != 1 {
+		t.Fatalf("pick = %d", p)
+	}
+	if p := s.Pick([]int{1, 3}, 1); p != 3 {
+		t.Fatalf("scripted entry should still apply, got %d", p)
+	}
+}
+
+func TestIntnInRange(t *testing.T) {
+	for _, s := range []Scheduler{NewRandom(2), NewRoundRobin(1, 2), NewScripted(nil, 2)} {
+		for i := 0; i < 100; i++ {
+			if v := s.Intn(7); v < 0 || v >= 7 {
+				t.Fatalf("%s.Intn out of range: %d", s.Name(), v)
+			}
+		}
+	}
+}

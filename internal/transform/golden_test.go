@@ -1,0 +1,69 @@
+package transform
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// The transformed output for a representative program is pinned as a
+// golden file, so unintended changes to the emitted recovery code show up
+// as a readable diff. Regenerate deliberately with:
+//
+//	go test ./internal/transform -run Golden -update-golden
+func TestGoldenTransform(t *testing.T) {
+	src := `
+module golden
+global flag = 0
+global gp = 0
+global L0 = 0
+global L = 0
+
+func main() {
+entry:
+  %e = loadg @flag
+  assert %e, "flag"
+  %p = loadg @gp
+  %v = load %p
+  %p0 = addrg @L0
+  lock %p0
+  %p1 = addrg @L
+  lock %p1
+  unlock %p1
+  unlock %p0
+  output "v", %v
+  ret 0
+}
+`
+	m := mir.MustParse(src)
+	res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mir.Print(Apply(m, res, Options{}))
+
+	path := filepath.Join("testdata", "golden_transform.mir")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("transformed output changed; diff against %s:\n--- got ---\n%s", path, got)
+	}
+}

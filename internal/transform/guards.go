@@ -1,0 +1,37 @@
+package transform
+
+import "conair/internal/mir"
+
+// GuardOutputs inserts a developer-style output-correctness oracle before
+// every output instruction whose operand is a register: the paper's
+// automatic specification for output functions ("ConAir currently inserts
+// an assertion before every fputs function call to check whether the
+// parameter of fputs is NULL or not", §3.4). In MIR the analogue asserts
+// that the emitted value is non-zero — the shape of the reconstructed
+// wrong-output bugs, where a racy read yields the uninitialized zero.
+//
+// The returned module is a guarded clone; the input is untouched. Running
+// the ConAir pipeline on the result makes every guarded output a
+// recoverable wrong-output site instead of an unrecoverable one.
+func GuardOutputs(m *mir.Module) *mir.Module {
+	out := m.Clone()
+	for fi := range out.Functions {
+		f := &out.Functions[fi]
+		for bi := range f.Blocks {
+			src := f.Blocks[bi].Instrs
+			guarded := make([]mir.Instr, 0, len(src))
+			for _, in := range src {
+				if in.Op == mir.OpOutput && in.A.Kind == mir.OperandReg {
+					guarded = append(guarded, mir.Instr{
+						Op: mir.OpAssert, Dst: -1, A: in.A,
+						AssertKind: mir.AssertOracle,
+						Text:       "auto-guard: output value must be initialized (non-zero)",
+					})
+				}
+				guarded = append(guarded, in)
+			}
+			f.Blocks[bi].Instrs = guarded
+		}
+	}
+	return out
+}

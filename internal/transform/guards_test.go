@@ -1,0 +1,104 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"conair/internal/analysis"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+func TestGuardOutputsInsertsOracles(t *testing.T) {
+	m := mir.MustParse(`
+global g = 0
+func main() {
+entry:
+  %v = loadg @g
+  output "v", %v
+  output "const", 7
+  ret
+}`)
+	g := GuardOutputs(m)
+	text := mir.Print(g)
+	if strings.Count(text, "oracle") != 1 {
+		t.Fatalf("want exactly one oracle (register outputs only):\n%s", text)
+	}
+	if mir.Print(m) == text {
+		t.Fatal("input must be untouched, clone must differ")
+	}
+	// The guarded module is still valid and the census now has a
+	// recoverable wrong-output site.
+	res, err := analysis.Analyze(g, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recoverable := 0
+	for i := range res.Sites {
+		if res.Sites[i].Site.Kind == analysis.SiteWrongOutput && res.Sites[i].Site.HasOracle {
+			recoverable++
+		}
+	}
+	if recoverable != 1 {
+		t.Errorf("recoverable wrong-output sites = %d, want 1", recoverable)
+	}
+}
+
+// With automatic guards, a wrong-output bug becomes recoverable with NO
+// developer annotation — the §3.4 extension closing the paper's §6.5
+// limitation for zero-is-uninitialized outputs.
+func TestGuardOutputsMakesWrongOutputRecoverable(t *testing.T) {
+	src := `
+global result = 0
+func reporter() {
+entry:
+  %v = loadg @result
+  output "result", %v
+  ret
+}
+func compute() {
+entry:
+  sleep 150
+  storeg @result, 99
+  ret
+}
+func main() {
+entry:
+  %t = spawn compute()
+  %r = spawn reporter()
+  join %r
+  join %t
+  ret 0
+}`
+	m := mir.MustParse(src)
+
+	// Unguarded + hardened: completes but emits the uninitialized zero.
+	res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unguarded := Apply(m, res, Options{})
+	r := interp.RunModule(unguarded, interp.Config{Sched: sched.NewRandom(1), CollectOutput: true})
+	if !r.Completed || r.Output[0].Value != 0 {
+		t.Fatalf("unguarded run should emit the wrong output: %+v", r)
+	}
+
+	// Guarded + hardened: recovers and emits the computed value.
+	g := GuardOutputs(m)
+	res2, err := analysis.Analyze(g, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened := Apply(g, res2, Options{})
+	r2 := interp.RunModule(hardened, interp.Config{Sched: sched.NewRandom(1), CollectOutput: true})
+	if !r2.Completed {
+		t.Fatalf("guarded run failed: %v", r2.Failure)
+	}
+	if len(r2.Output) != 1 || r2.Output[0].Value != 99 {
+		t.Fatalf("guarded output = %+v, want result=99", r2.Output)
+	}
+	if r2.Stats.Rollbacks == 0 {
+		t.Error("recovery should have rolled back")
+	}
+}

@@ -1,0 +1,141 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"conair/internal/analysis"
+	"conair/internal/mir"
+)
+
+// Every benchmark-scale transformed module must satisfy the recovery
+// invariants; the per-case transform tests cover small shapes, this one
+// exercises a multi-path module with shared and per-path checkpoints.
+func TestInvariantsMultiPath(t *testing.T) {
+	src := `
+global g = 0
+global c = 0
+func main() {
+entry:
+  %cv = loadg @c
+  br %cv, dirty, clean
+dirty:
+  storeg @g, 1
+  %a = loadg @g
+  jmp check
+clean:
+  %a = loadg @g
+  jmp check
+check:
+  assert %a, "a"
+  ret
+}`
+	out, res := harden(t, src, defaults(), Options{})
+	if err := CheckInvariants(out, res); err != nil {
+		t.Fatalf("multi-path invariants: %v", err)
+	}
+	// The site has two reexecution points (entry + after the store);
+	// neither alone dominates the check, but together they form a cut.
+	if res.StaticReexecPoints() != 2 {
+		t.Fatalf("points = %d, want 2", res.StaticReexecPoints())
+	}
+}
+
+func TestInvariantsCatchMissingCheckpoint(t *testing.T) {
+	src := `
+global flag = 0
+func main() {
+entry:
+  %e = loadg @flag
+  assert %e, "e"
+  ret
+}`
+	m := mir.MustParse(src)
+	res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Apply(m, res, Options{})
+	// Sabotage: strip the checkpoint.
+	f := &out.Functions[0]
+	for bi := range f.Blocks {
+		var kept []mir.Instr
+		for _, in := range f.Blocks[bi].Instrs {
+			if in.Op != mir.OpCheckpoint {
+				kept = append(kept, in)
+			}
+		}
+		f.Blocks[bi].Instrs = kept
+	}
+	if err := CheckInvariants(out, res); err == nil {
+		t.Fatal("missing checkpoint must fail the invariant check")
+	}
+}
+
+func TestInvariantsCatchBrokenRecoveryBlock(t *testing.T) {
+	src := `
+global flag = 0
+func main() {
+entry:
+  %e = loadg @flag
+  assert %e, "e"
+  ret
+}`
+	m := mir.MustParse(src)
+	res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Apply(m, res, Options{})
+	// Sabotage: turn the rollback into a nop, leaving a recovery block
+	// whose first instruction is wrong.
+	found := false
+	f := &out.Functions[0]
+	for bi := range f.Blocks {
+		for ii := range f.Blocks[bi].Instrs {
+			if f.Blocks[bi].Instrs[ii].Op == mir.OpRollback {
+				f.Blocks[bi].Instrs[ii] = mir.Instr{Op: mir.OpNop, Dst: -1}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no rollback to sabotage")
+	}
+	if err := CheckInvariants(out, res); err == nil {
+		t.Fatal("broken recovery block must fail the invariant check")
+	}
+}
+
+func TestInvariantsOnEveryFailureKind(t *testing.T) {
+	src := `
+global g = 1
+global L0 = 0
+global L = 0
+global gp = 0
+func main() {
+entry:
+  %a = loadg @g
+  assert %a, "a"
+  oracle %a, "o"
+  output "v", %a
+  %p = loadg @gp
+  %v = load %p
+  store %p, %v
+  %p0 = addrg @L0
+  lock %p0
+  %p1 = addrg @L
+  lock %p1
+  unlock %p1
+  unlock %p0
+  ret
+}`
+	out, res := harden(t, src, defaults(), Options{})
+	if err := CheckInvariants(out, res); err != nil {
+		t.Fatalf("mixed-kind invariants: %v", err)
+	}
+	text := mir.Print(out)
+	if !strings.Contains(text, "timedlock") {
+		t.Error("expected a converted deadlock site")
+	}
+}

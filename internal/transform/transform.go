@@ -1,0 +1,237 @@
+// Package transform implements ConAir's code transformation (paper §3.3
+// and §4.1): it rewrites an analyzed MIR module so that the hardened
+// program recovers from concurrency-bug failures by single-threaded
+// idempotent reexecution.
+//
+// At every reexecution point a checkpoint instruction is planted (the
+// setjmp plus thread-local region counter of Figure 6). At every surviving
+// failure site the failing operation is turned into an explicit check that
+// branches to a recovery block containing a bounded rollback (the
+// longjmp retry loop of Figure 6):
+//
+//   - assert %e           →  br %e, cont, recover;
+//     recover: rollback; fail assert
+//   - oracle %e           →  same, failing as wrong-output
+//   - %v = load %p        →  %ok = gt %p, LowerBound; br %ok, cont, recover;
+//     recover: rollback; jmp cont   (exhausted retries
+//     fall into the real dereference, Figure 5c)
+//   - lock %m             →  %r = timedlock %m; br %r, cont, recover;
+//     recover: sleeprand; rollback; fail deadlock
+//     (the sleeprand is the livelock-avoidance random
+//     backoff of §3.3)
+//
+// The transformation is purely IR→IR: the input module is cloned, blocks
+// are rebuilt with checkpoints and guards, and recovery blocks are
+// appended. Branch targets stay valid because block indices never shift.
+// Compensation for allocations and lock acquisitions inside reexecution
+// regions (§4.1) is performed by the interpreter at rollback, driven by
+// the checkpoints' region counters, so no extra instrumentation is needed
+// here.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"conair/internal/analysis"
+	"conair/internal/interp"
+	"conair/internal/mir"
+)
+
+// Options tunes the planted recovery code.
+type Options struct {
+	// MaxRetry bounds recovery attempts per failure site (the paper's
+	// maxRetryNum, default one million).
+	MaxRetry int64
+	// LockTimeout is the timed-lock timeout in interpreter steps for
+	// converted deadlock sites.
+	LockTimeout int
+	// LivelockBackoff is the bound of the random sleep planted at
+	// deadlock failure sites.
+	LivelockBackoff int64
+}
+
+// Defaults mirror the paper's configuration.
+const (
+	DefaultMaxRetry        = int64(1_000_000)
+	DefaultLockTimeout     = 400
+	DefaultLivelockBackoff = int64(32)
+)
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxRetry <= 0 {
+		out.MaxRetry = DefaultMaxRetry
+	}
+	if out.LockTimeout <= 0 {
+		out.LockTimeout = DefaultLockTimeout
+	}
+	if out.LivelockBackoff <= 0 {
+		out.LivelockBackoff = DefaultLivelockBackoff
+	}
+	return out
+}
+
+// Apply rewrites module m according to the analysis result, returning the
+// hardened clone. The input module is left untouched.
+func Apply(m *mir.Module, res *analysis.Result, opts Options) *mir.Module {
+	opts = opts.withDefaults()
+	out := m.Clone()
+
+	// Group checkpoint plants and site rewrites by function.
+	type siteRewrite struct {
+		sa *analysis.SiteAnalysis
+	}
+	checkpointsByFn := map[int][]analysis.Checkpoint{}
+	for _, cp := range res.Checkpoints {
+		checkpointsByFn[cp.Pos.Fn] = append(checkpointsByFn[cp.Pos.Fn], cp)
+	}
+	rewritesByFn := map[int][]*analysis.SiteAnalysis{}
+	for i := range res.Sites {
+		sa := &res.Sites[i]
+		if sa.Recovers() {
+			rewritesByFn[sa.Site.Pos.Fn] = append(rewritesByFn[sa.Site.Pos.Fn], sa)
+		}
+	}
+
+	for fi := range out.Functions {
+		cps := checkpointsByFn[fi]
+		rws := rewritesByFn[fi]
+		if len(cps) == 0 && len(rws) == 0 {
+			continue
+		}
+		rewriteFunction(&out.Functions[fi], cps, rws, opts)
+	}
+	return out
+}
+
+// rewriteFunction rebuilds every block of f, planting checkpoints and
+// rewriting failure sites. New recovery and continuation blocks are
+// appended after the original blocks so original block indices (and hence
+// branch targets) stay valid.
+func rewriteFunction(f *mir.Function, cps []analysis.Checkpoint,
+	rws []*analysis.SiteAnalysis, opts Options) {
+
+	// Per original (block, index): checkpoints to plant before it and the
+	// site rewrite to apply to it.
+	cpAt := map[[2]int][]int{} // (block, index) -> checkpoint IDs
+	for _, cp := range cps {
+		key := [2]int{cp.Pos.Block, cp.Pos.Index}
+		cpAt[key] = append(cpAt[key], cp.ID)
+	}
+	for k := range cpAt {
+		sort.Ints(cpAt[k])
+	}
+	rwAt := map[[2]int]*analysis.SiteAnalysis{}
+	for _, sa := range rws {
+		rwAt[[2]int{sa.Site.Pos.Block, sa.Site.Pos.Index}] = sa
+	}
+
+	nOrig := len(f.Blocks)
+	newBlocks := make([]mir.Block, nOrig, nOrig+2*len(rws))
+
+	// newReg appends a fresh compiler temporary.
+	newReg := func(name string) int {
+		f.RegNames = append(f.RegNames, name)
+		return len(f.RegNames) - 1
+	}
+	// appendBlock adds a block after the originals and returns its index.
+	appendBlock := func(name string) int {
+		newBlocks = append(newBlocks, mir.Block{Name: name})
+		return len(newBlocks) - 1
+	}
+
+	for bi := 0; bi < nOrig; bi++ {
+		src := f.Blocks[bi].Instrs
+		curName := f.Blocks[bi].Name
+		cur := bi // index of the block currently being filled
+		newBlocks[cur].Name = curName
+		emit := func(in mir.Instr) {
+			newBlocks[cur].Instrs = append(newBlocks[cur].Instrs, in)
+		}
+
+		for ii := 0; ii < len(src); ii++ {
+			for _, cpID := range cpAt[[2]int{bi, ii}] {
+				emit(mir.Instr{Op: mir.OpCheckpoint, Dst: -1, Site: cpID})
+			}
+			sa := rwAt[[2]int{bi, ii}]
+			if sa == nil {
+				emit(src[ii])
+				continue
+			}
+
+			site := sa.Site
+			in := src[ii]
+			label := fmt.Sprintf("%s.s%d", curName, site.ID)
+			switch site.Kind {
+			case analysis.SiteAssert, analysis.SiteWrongOutput:
+				// Figure 6: the assert's condition becomes a branch; the
+				// recovery block retries, then really fails.
+				failKind := mir.FailAssert
+				if site.Kind == analysis.SiteWrongOutput {
+					failKind = mir.FailWrongOutput
+				}
+				recover := appendBlock(label + ".recover")
+				cont := appendBlock(label + ".cont")
+				emit(mir.Instr{
+					Op: mir.OpBr, Dst: -1, A: in.A,
+					Then: cont, Else: recover, Site: site.ID,
+				})
+				newBlocks[recover].Instrs = []mir.Instr{
+					{Op: mir.OpRollback, Dst: -1, Site: site.ID, MaxRetry: opts.MaxRetry},
+					{Op: mir.OpFail, Dst: -1, FailKind: failKind, Site: site.ID, Text: in.Text},
+				}
+				cur = cont
+
+			case analysis.SiteSegfault:
+				// Figure 5c: pointer sanity check; exhausted retries fall
+				// into the real dereference.
+				ok := newReg(fmt.Sprintf(".ok%d", site.ID))
+				recover := appendBlock(label + ".recover")
+				cont := appendBlock(label + ".cont")
+				emit(mir.Instr{
+					Op: mir.OpBin, Bin: mir.BinGt, Dst: ok,
+					A: in.A, B: mir.Imm(interp.LowerBound),
+				})
+				emit(mir.Instr{
+					Op: mir.OpBr, Dst: -1, A: mir.Reg(ok),
+					Then: cont, Else: recover, Site: site.ID,
+				})
+				newBlocks[recover].Instrs = []mir.Instr{
+					{Op: mir.OpRollback, Dst: -1, Site: site.ID, MaxRetry: opts.MaxRetry},
+					{Op: mir.OpJmp, Dst: -1, Then: cont},
+				}
+				cur = cont
+				deref := in
+				deref.Site = site.ID
+				emit(deref)
+
+			case analysis.SiteDeadlock:
+				// Figure 5d: lock → timedlock; timeout enters recovery
+				// with random backoff against livelock.
+				got := newReg(fmt.Sprintf(".lk%d", site.ID))
+				recover := appendBlock(label + ".recover")
+				cont := appendBlock(label + ".cont")
+				emit(mir.Instr{
+					Op: mir.OpTimedLock, Dst: got, A: in.A,
+					Timeout: opts.LockTimeout, Site: site.ID,
+				})
+				emit(mir.Instr{
+					Op: mir.OpBr, Dst: -1, A: mir.Reg(got),
+					Then: cont, Else: recover, Site: site.ID,
+				})
+				newBlocks[recover].Instrs = []mir.Instr{
+					{Op: mir.OpSleepRand, Dst: -1, A: mir.Imm(opts.LivelockBackoff)},
+					{Op: mir.OpRollback, Dst: -1, Site: site.ID, MaxRetry: opts.MaxRetry},
+					{Op: mir.OpFail, Dst: -1, FailKind: mir.FailDeadlock, Site: site.ID,
+						Text: "lock acquisition timed out after exhausted recovery"},
+				}
+				cur = cont
+			}
+		}
+		// A checkpoint may be addressed at one past the last position of a
+		// block only if the block's terminator was a destroyer, which
+		// terminators never are; nothing to flush.
+	}
+	f.Blocks = newBlocks
+}

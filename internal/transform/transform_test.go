@@ -1,0 +1,528 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"conair/internal/analysis"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+func harden(t *testing.T, src string, aopts analysis.Options, topts Options) (*mir.Module, *analysis.Result) {
+	t.Helper()
+	m := mir.MustParse(src)
+	res, err := analysis.Analyze(m, aopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Apply(m, res, topts)
+	if err := mir.Verify(out); err != nil {
+		t.Fatalf("transformed module invalid: %v\n%s", err, mir.Print(out))
+	}
+	if err := CheckInvariants(out, res); err != nil {
+		t.Fatalf("recovery invariants violated: %v\n%s", err, mir.Print(out))
+	}
+	return out, res
+}
+
+func defaults() analysis.Options { return analysis.DefaultOptions() }
+
+// Figure 6: the assert transformation plants a checkpoint (setjmp), a
+// branch to a recovery block with a bounded rollback, and the real failure
+// after exhaustion.
+func TestFigure6AssertTransformShape(t *testing.T) {
+	src := `
+global flag = 0
+func main() {
+entry:
+  %e = loadg @flag
+  assert %e, "e must hold"
+  ret
+}`
+	out, res := harden(t, src, defaults(), Options{})
+	text := mir.Print(out)
+	for _, want := range []string{"checkpoint", "rollback 1, 1000000", `fail assert, "e must hold"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("transformed module missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "assert %e") {
+		t.Errorf("original assert should have been rewritten:\n%s", text)
+	}
+	if res.StaticReexecPoints() != 1 {
+		t.Errorf("checkpoints = %d, want 1", res.StaticReexecPoints())
+	}
+	// Original block indices must be preserved: block 0 is still entry.
+	if out.Functions[0].Blocks[0].Name != "entry" {
+		t.Errorf("entry block displaced: %v", out.Functions[0].Blocks[0].Name)
+	}
+}
+
+// Figure 5c: the segfault transformation plants the LowerBound sanity
+// check and falls back into the real dereference after exhaustion.
+func TestFigure5cSegfaultTransformShape(t *testing.T) {
+	src := `
+global gp = 0
+func main() {
+entry:
+  %p = loadg @gp
+  %v = load %p
+  ret %v
+}`
+	out, _ := harden(t, src, defaults(), Options{})
+	text := mir.Print(out)
+	if !strings.Contains(text, "gt %p, 10000") {
+		t.Errorf("missing LowerBound pointer sanity check:\n%s", text)
+	}
+	if !strings.Contains(text, "%v = load %p") {
+		t.Errorf("real dereference must remain:\n%s", text)
+	}
+	if !strings.Contains(text, "rollback") {
+		t.Errorf("missing rollback:\n%s", text)
+	}
+}
+
+// Figure 5d: lock → timedlock with recovery and livelock backoff.
+func TestFigure5dDeadlockTransformShape(t *testing.T) {
+	src := `
+global L0 = 0
+global L = 0
+func main() {
+entry:
+  %p0 = addrg @L0
+  lock %p0
+  %p = addrg @L
+  lock %p
+  unlock %p
+  unlock %p0
+  ret
+}`
+	out, res := harden(t, src, defaults(), Options{})
+	text := mir.Print(out)
+	if !strings.Contains(text, "timedlock %p, 400") {
+		t.Errorf("second lock should become timedlock:\n%s", text)
+	}
+	if !strings.Contains(text, "sleeprand") {
+		t.Errorf("missing livelock backoff:\n%s", text)
+	}
+	if !strings.Contains(text, "fail deadlock") {
+		t.Errorf("missing deadlock failure after exhaustion:\n%s", text)
+	}
+	// The first lock has no lock acquisition in its region: pruned, stays
+	// a plain lock (§4.2).
+	if !strings.Contains(text, "lock %p0") {
+		t.Errorf("first lock should stay plain:\n%s", text)
+	}
+	if res.PrunedSites == 0 {
+		t.Error("expected the first lock site to be pruned")
+	}
+}
+
+func TestOutputWithoutOracleGetsCheckpointOnly(t *testing.T) {
+	src := `
+global g = 0
+func main() {
+entry:
+  %v = loadg @g
+  output "v", %v
+  ret
+}`
+	out, res := harden(t, src, defaults(), Options{})
+	text := mir.Print(out)
+	if !strings.Contains(text, "checkpoint") {
+		t.Errorf("worst-case overhead modeling requires a checkpoint:\n%s", text)
+	}
+	if strings.Contains(text, "rollback") {
+		t.Errorf("no recovery without an oracle:\n%s", text)
+	}
+	if res.StaticReexecPoints() != 1 {
+		t.Errorf("points = %d, want 1", res.StaticReexecPoints())
+	}
+}
+
+func TestTransformOptionsApplied(t *testing.T) {
+	src := `
+global flag = 0
+func main() {
+entry:
+  %e = loadg @flag
+  assert %e, "e"
+  ret
+}`
+	out, _ := harden(t, src, defaults(), Options{MaxRetry: 7})
+	if !strings.Contains(mir.Print(out), "rollback 1, 7") {
+		t.Errorf("MaxRetry not honored:\n%s", mir.Print(out))
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	src := `
+global flag = 0
+func main() {
+entry:
+  %e = loadg @flag
+  assert %e, "e"
+  ret
+}`
+	m := mir.MustParse(src)
+	before := mir.Print(m)
+	res, err := analysis.Analyze(m, defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = Apply(m, res, Options{})
+	if mir.Print(m) != before {
+		t.Error("Apply mutated the input module")
+	}
+}
+
+// --- End-to-end recovery through the interpreter ---
+
+// Order violation (the paper's most common recovery case): a reader thread
+// asserts on a flag another thread sets late. Unhardened it fails;
+// hardened it must recover in every seed.
+func TestEndToEndAssertRecovery(t *testing.T) {
+	src := `
+global flag = 0
+func reader() {
+entry:
+  %v = loadg @flag
+  assert %v, "flag read too early"
+  ret
+}
+func main() {
+entry:
+  %t = spawn reader()
+  sleep 150
+  storeg @flag, 1
+  join %t
+  ret 0
+}`
+	m := mir.MustParse(src)
+	plain := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1)})
+	if plain.Completed || plain.Failure.Kind != mir.FailAssert {
+		t.Fatalf("unhardened run should fail with assert: %+v", plain)
+	}
+
+	out, _ := harden(t, src, defaults(), Options{})
+	for seed := int64(0); seed < 25; seed++ {
+		r := interp.RunModule(out, interp.Config{Sched: sched.NewRandom(seed)})
+		if !r.Completed {
+			t.Fatalf("seed %d: hardened run failed: %v", seed, r.Failure)
+		}
+		if r.Stats.Rollbacks == 0 {
+			t.Fatalf("seed %d: recovery should have used rollbacks", seed)
+		}
+	}
+}
+
+// Segfault recovery: dereference of a shared pointer before initialization
+// (HTTrack/MozillaXP root cause).
+func TestEndToEndSegfaultRecovery(t *testing.T) {
+	src := `
+global gp = 0
+func reader() {
+entry:
+  %p = loadg @gp
+  %v = load %p
+  output "got", %v
+  ret
+}
+func main() {
+entry:
+  %t = spawn reader()
+  sleep 150
+  %h = alloc 2
+  store %h, 77
+  storeg @gp, %h
+  join %t
+  ret 0
+}`
+	m := mir.MustParse(src)
+	plain := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1)})
+	if plain.Completed || plain.Failure.Kind != mir.FailSegfault {
+		t.Fatalf("unhardened run should segfault: %+v", plain)
+	}
+
+	out, _ := harden(t, src, defaults(), Options{})
+	r := interp.RunModule(out, interp.Config{Sched: sched.NewRandom(2), CollectOutput: true})
+	if !r.Completed {
+		t.Fatalf("hardened run failed: %v", r.Failure)
+	}
+	if len(r.Output) != 1 || r.Output[0].Value != 77 {
+		t.Errorf("output = %+v, want got=77", r.Output)
+	}
+}
+
+// Deadlock recovery: HawkNL's reversed lock order (Figure 11). One thread
+// times out, rolls back (releasing its first lock via compensation) and
+// reexecutes; both threads then finish.
+func TestEndToEndDeadlockRecovery(t *testing.T) {
+	src := `
+global nlock = 0
+global slock = 0
+global nSockets = 1
+func close() {
+entry:
+  %pn = addrg @nlock
+  lock %pn
+  call driverclose()
+  %ps = addrg @slock
+  lock %ps
+  unlock %ps
+  unlock %pn
+  ret
+}
+func driverclose() {
+entry:
+  sleep 60
+  ret
+}
+func shutdown() {
+entry:
+  %ps = addrg @slock
+  lock %ps
+  %ns = loadg @nSockets
+  br %ns, inner, out
+inner:
+  %pn = addrg @nlock
+  lock %pn
+  unlock %pn
+  jmp out
+out:
+  unlock %ps
+  ret
+}
+func main() {
+entry:
+  %t1 = spawn close()
+  %t2 = spawn shutdown()
+  join %t1
+  join %t2
+  ret 0
+}`
+	m := mir.MustParse(src)
+	// Unhardened: deadlock manifests as a hang under interleavings where
+	// each thread takes its first lock. Force it: thread close grabs
+	// nlock then sleeps inside driverclose; shutdown grabs slock, then
+	// blocks on nlock; close wakes and blocks on slock.
+	var sawHang bool
+	for seed := int64(0); seed < 40; seed++ {
+		r := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(seed), MaxSteps: 200_000})
+		if !r.Completed && r.Failure.Kind == mir.FailHang {
+			sawHang = true
+			break
+		}
+	}
+	if !sawHang {
+		t.Fatal("unhardened program never deadlocked; the forcing sleep is wrong")
+	}
+
+	out, _ := harden(t, src, defaults(), Options{LockTimeout: 100})
+	for seed := int64(0); seed < 25; seed++ {
+		r := interp.RunModule(out, interp.Config{Sched: sched.NewRandom(seed), MaxSteps: 500_000})
+		if !r.Completed {
+			t.Fatalf("seed %d: hardened run failed: %v", seed, r.Failure)
+		}
+	}
+}
+
+// Wrong-output recovery with an oracle (FFT, Figure 9).
+func TestEndToEndOracleRecovery(t *testing.T) {
+	src := `
+global End = 0
+func reporter() {
+entry:
+  %tmp = loadg @End
+  oracle %tmp, "End must be positive"
+  output "stop", %tmp
+  ret
+}
+func main() {
+entry:
+  %t = spawn reporter()
+  sleep 120
+  storeg @End, 42
+  join %t
+  ret 0
+}`
+	m := mir.MustParse(src)
+	plain := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1)})
+	if plain.Completed || plain.Failure.Kind != mir.FailWrongOutput {
+		t.Fatalf("unhardened run should produce wrong output: %+v", plain)
+	}
+	out, _ := harden(t, src, defaults(), Options{})
+	r := interp.RunModule(out, interp.Config{Sched: sched.NewRandom(3), CollectOutput: true})
+	if !r.Completed {
+		t.Fatalf("hardened run failed: %v", r.Failure)
+	}
+	if len(r.Output) != 1 || r.Output[0].Value != 42 {
+		t.Errorf("output = %+v, want stop=42", r.Output)
+	}
+}
+
+// Inter-procedural recovery end-to-end (MozillaXP, Figure 10): the
+// checkpoint lives in the caller; the rollback unwinds the callee frame.
+func TestEndToEndInterprocRecovery(t *testing.T) {
+	src := `
+global mThd = 0
+func getstate(%thd) {
+entry:
+  %v = load %thd
+  ret %v
+}
+func get() {
+entry:
+  %p = loadg @mThd
+  %tmp = call getstate(%p)
+  output "state", %tmp
+  ret
+}
+func initthd() {
+entry:
+  sleep 200
+  %h = alloc 2
+  store %h, 9
+  storeg @mThd, %h
+  ret
+}
+func main() {
+entry:
+  %t = spawn initthd()
+  call get()
+  join %t
+  ret 0
+}`
+	m := mir.MustParse(src)
+	plain := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1)})
+	if plain.Completed || plain.Failure.Kind != mir.FailSegfault {
+		t.Fatalf("unhardened run should segfault: %+v", plain)
+	}
+
+	out, res := harden(t, src, defaults(), Options{})
+	if res.InterprocSites == 0 {
+		t.Fatal("expected inter-procedural selection for getstate's dereference")
+	}
+	r := interp.RunModule(out, interp.Config{Sched: sched.NewRandom(5), CollectOutput: true})
+	if !r.Completed {
+		t.Fatalf("hardened run failed: %v", r.Failure)
+	}
+	if len(r.Output) != 1 || r.Output[0].Value != 9 {
+		t.Errorf("output = %+v, want state=9", r.Output)
+	}
+	if r.Stats.Rollbacks == 0 {
+		t.Error("expected rollbacks during recovery")
+	}
+}
+
+// Fix mode hardens exactly one site.
+func TestFixModeSingleSite(t *testing.T) {
+	src := `
+global flag = 0
+global other = 0
+func main() {
+entry:
+  %a = loadg @other
+  output "a", %a
+  %v = loadg @flag
+  assert %v, "flag"
+  ret
+}`
+	m := mir.MustParse(src)
+	pos, err := analysis.FindSite(m, "main", mir.OpAssert, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aopts := defaults()
+	aopts.Mode = analysis.Fix
+	aopts.FixSite = pos
+	out, res := harden(t, src, aopts, Options{})
+	if res.Census.Total() != 1 || res.StaticReexecPoints() != 1 {
+		t.Errorf("fix mode: census=%d points=%d, want 1 and 1",
+			res.Census.Total(), res.StaticReexecPoints())
+	}
+	text := mir.Print(out)
+	if strings.Count(text, "checkpoint") != 1 {
+		t.Errorf("fix mode should plant exactly one checkpoint:\n%s", text)
+	}
+	// The output instruction must be untouched in fix mode.
+	if !strings.Contains(text, `output "a", %a`) {
+		t.Errorf("unrelated output should be untouched:\n%s", text)
+	}
+}
+
+// Multiple sites in one block keep their relative order and the block
+// split chain stays executable.
+func TestMultipleSitesInOneBlock(t *testing.T) {
+	src := `
+global a = 1
+global b = 1
+func main() {
+entry:
+  %x = loadg @a
+  assert %x, "x"
+  %y = loadg @b
+  assert %y, "y"
+  output "done", %y
+  ret 0
+}`
+	out, res := harden(t, src, defaults(), Options{})
+	nRecover := 0
+	for i := range res.Sites {
+		if res.Sites[i].Recovers() {
+			nRecover++
+		}
+	}
+	if nRecover != 2 {
+		t.Fatalf("recovery sites = %d, want 2", nRecover)
+	}
+	r := interp.RunModule(out, interp.Config{Sched: sched.NewRandom(1), CollectOutput: true})
+	if !r.Completed || len(r.Output) != 1 {
+		t.Fatalf("run = %+v", r)
+	}
+}
+
+// Hardened programs must behave identically to the original on failure-free
+// runs (correctness property: semantics unchanged).
+func TestSemanticsPreservedWhenNoFailure(t *testing.T) {
+	src := `
+global g = 5
+global mtx = 0
+func work(%n) {
+entry:
+  %p = addrg @mtx
+  lock %p
+  %v = loadg @g
+  %v2 = add %v, %n
+  storeg @g, %v2
+  unlock %p
+  ret %v2
+}
+func main() {
+entry:
+  %a = call work(1)
+  %b = call work(2)
+  %p = addrg @g
+  %c = load %p
+  output "final", %c
+  ret %c
+}`
+	m := mir.MustParse(src)
+	orig := interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1), CollectOutput: true})
+	out, _ := harden(t, src, defaults(), Options{})
+	hard := interp.RunModule(out, interp.Config{Sched: sched.NewRandom(1), CollectOutput: true})
+	if !orig.Completed || !hard.Completed {
+		t.Fatalf("orig=%+v hard=%+v", orig.Failure, hard.Failure)
+	}
+	if orig.ExitCode != hard.ExitCode {
+		t.Errorf("exit codes differ: %d vs %d", orig.ExitCode, hard.ExitCode)
+	}
+	if len(orig.Output) != len(hard.Output) || orig.Output[0].Value != hard.Output[0].Value {
+		t.Errorf("outputs differ: %+v vs %+v", orig.Output, hard.Output)
+	}
+	if hard.Stats.Rollbacks != 0 {
+		t.Errorf("failure-free run should not roll back, did %d times", hard.Stats.Rollbacks)
+	}
+}
