@@ -18,6 +18,7 @@ package conair
 //	BenchmarkMicro_*    interpreter and pipeline microbenchmarks
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"conair/internal/core"
 	"conair/internal/interp"
 	"conair/internal/mir"
+	"conair/internal/runner"
 	"conair/internal/sched"
 )
 
@@ -324,6 +326,148 @@ out:
 		m := loop("checkpoint 1")
 		for i := 0; i < b.N; i++ {
 			runOnce(b, m, 1)
+		}
+	})
+}
+
+// BenchmarkMicro_CallReturn stresses the call/return hot path: a tight
+// loop calling a tiny function per iteration. Frame pooling shows up here
+// as the allocs/op drop (one pooled frame instead of a fresh regs+slots
+// allocation per call).
+func BenchmarkMicro_CallReturn(b *testing.B) {
+	m := mir.MustParse(`
+func work(%a) {
+entry:
+  %t = mul %a, 3
+  %r = add %t, 1
+  ret %r
+}
+func main() {
+entry:
+  %i = const 0
+  %acc = const 0
+  jmp loop
+loop:
+  %v = call work(%i)
+  %acc = add %acc, %v
+  %i = add %i, 1
+  %c = lt %i, 50000
+  br %c, loop, out
+out:
+  ret %acc
+}`)
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		steps = runOnce(b, m, 1).Stats.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/run")
+}
+
+// BenchmarkMicro_HeapLoadStore walks loads and stores across two heap
+// blocks, exercising the address→block resolution (last-block cache plus
+// binary search) on every memory instruction.
+func BenchmarkMicro_HeapLoadStore(b *testing.B) {
+	m := mir.MustParse(`
+func main() {
+entry:
+  %a = alloc 64
+  %bb = alloc 64
+  %i = const 0
+  jmp loop
+loop:
+  %off = and %i, 63
+  %pa = add %a, %off
+  %pb = add %bb, %off
+  store %pa, %i
+  %v = load %pa
+  store %pb, %v
+  %w = load %pb
+  %i = add %i, 1
+  %c = lt %i, 25000
+  br %c, loop, out
+out:
+  ret
+}`)
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		steps = runOnce(b, m, 1).Stats.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/run")
+}
+
+// BenchmarkMicro_ManyThreads interleaves eight compute threads, stressing
+// the per-step scheduler path (runnable-set construction + seeded pick)
+// rather than instruction dispatch.
+func BenchmarkMicro_ManyThreads(b *testing.B) {
+	m := mir.MustParse(`
+func worker() {
+entry:
+  %i = const 0
+  jmp loop
+loop:
+  %i = add %i, 1
+  %c = lt %i, 20000
+  br %c, loop, out
+out:
+  ret
+}
+func main() {
+entry:
+  %t0 = spawn worker()
+  %t1 = spawn worker()
+  %t2 = spawn worker()
+  %t3 = spawn worker()
+  %t4 = spawn worker()
+  %t5 = spawn worker()
+  %t6 = spawn worker()
+  %t7 = spawn worker()
+  join %t0
+  join %t1
+  join %t2
+  join %t3
+  join %t4
+  join %t5
+  join %t6
+  join %t7
+  ret 0
+}`)
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		steps = runOnce(b, m, 1).Stats.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/run")
+}
+
+// BenchmarkMicro_EngineSweep runs a Table 3-shaped seed sweep (hardened
+// ZSNES, forced failure) through the parallel run engine at one worker and
+// at GOMAXPROCS workers. The two variants produce identical results; the
+// wall-clock gap is the engine's scaling on this machine.
+func BenchmarkMicro_EngineSweep(b *testing.B) {
+	p := prep(b, "ZSNES")
+	const seeds = 16
+	sweep := func(workers int) {
+		e := runner.Engine{Workers: workers}
+		ok := runner.Map(e, seeds, func(i int) bool {
+			r := interp.RunModule(p.forcedSurv, runner.SeedConfig(int64(i), 500_000_000))
+			return r.Completed
+		})
+		for i, c := range ok {
+			if !c {
+				b.Fatalf("seed %d did not recover", i)
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(1)
+		}
+	})
+	b.Run("workers=max", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(runtime.GOMAXPROCS(0))
 		}
 	})
 }

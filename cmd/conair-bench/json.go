@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"conair/internal/experiments"
+	"conair/internal/interp"
+)
+
+// benchDoc is the machine-readable output of -json: the selected sections'
+// raw rows plus process throughput. Perf-trajectory snapshots
+// (BENCH_*.json) are these documents, one per PR, regenerated with:
+//
+//	go run ./cmd/conair-bench -all -quick -json > BENCH_N.json
+//
+// Section data is deterministic (same flags → same bytes); only the perf
+// block varies with the machine.
+type benchDoc struct {
+	Schema   int            `json:"schema"`
+	Config   benchConfig    `json:"config"`
+	Machine  benchMachine   `json:"machine"`
+	Sections map[string]any `json:"sections"`
+	Perf     benchPerf      `json:"perf"`
+}
+
+type benchConfig struct {
+	Runs          int  `json:"runs"`
+	OverheadSeeds int  `json:"overheadSeeds"`
+	Workers       int  `json:"workers"` // 0 = GOMAXPROCS
+	Quick         bool `json:"quick"`
+	All           bool `json:"all"`
+}
+
+type benchMachine struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCPU"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type benchPerf struct {
+	WallSeconds float64 `json:"wallSeconds"`
+	// Runs and Steps are totals over every interpreter run the sweep
+	// executed; RunsPerSec and StepsPerSec are the headline throughput.
+	Runs        int64   `json:"runs"`
+	Steps       int64   `json:"steps"`
+	RunsPerSec  float64 `json:"runsPerSec"`
+	StepsPerSec float64 `json:"stepsPerSec"`
+}
+
+// runJSON regenerates the selected sections and writes the document to w.
+// It reports false when the selection is empty.
+func runJSON(w io.Writer, sel selection) bool {
+	if !sel.anySelected() {
+		return false
+	}
+	doc := benchDoc{
+		Schema: 1,
+		Config: benchConfig{
+			Runs:          sel.runs,
+			OverheadSeeds: sel.seeds,
+			Workers:       sel.workers,
+			Quick:         sel.quick,
+			All:           sel.all,
+		},
+		Machine: benchMachine{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Sections: map[string]any{},
+	}
+
+	runs0, steps0 := interp.Totals()
+	start := time.Now()
+
+	if sel.want(2) {
+		doc.Sections["table2"] = experiments.Table2()
+	}
+	if sel.want(3) {
+		doc.Sections["table3"] = experiments.Table3(sel.runs, sel.seeds)
+	}
+	if sel.want(4) && sel.figure != 4 {
+		doc.Sections["table4"] = experiments.Table4()
+	}
+	if sel.want(5) {
+		doc.Sections["table5"] = experiments.Table5()
+	}
+	if sel.want(6) {
+		doc.Sections["table6"] = experiments.Table6()
+	}
+	if sel.want(7) {
+		doc.Sections["table7"] = experiments.Table7()
+	}
+	if sel.wantFigure(2) {
+		doc.Sections["figure2"] = experiments.Figure2()
+	}
+	if sel.wantFigure(4) {
+		doc.Sections["figure4"] = experiments.Figure4()
+	}
+	if sel.all || sel.analysisTime {
+		doc.Sections["analysisTimes"] = experiments.AnalysisTimes()
+	}
+	if sel.all || sel.ablation {
+		doc.Sections["ablation"] = experiments.Ablations(min(sel.runs, 10))
+	}
+
+	elapsed := time.Since(start).Seconds()
+	runs1, steps1 := interp.Totals()
+	doc.Perf = benchPerf{
+		WallSeconds: elapsed,
+		Runs:        runs1 - runs0,
+		Steps:       steps1 - steps0,
+	}
+	if elapsed > 0 {
+		doc.Perf.RunsPerSec = float64(doc.Perf.Runs) / elapsed
+		doc.Perf.StepsPerSec = float64(doc.Perf.Steps) / elapsed
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "conair-bench: encoding JSON:", err)
+		os.Exit(1)
+	}
+	return true
+}

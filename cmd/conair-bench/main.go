@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	conair-bench -all               # everything (Tables 2–7, Figures 2/4, §6.4)
+//	conair-bench -all               # everything at paper scale (1000 runs, 20 seeds)
+//	conair-bench -all -quick        # fast settings (100 runs, 3 seeds)
 //	conair-bench -table 3 -runs 1000
 //	conair-bench -figure 4
 //	conair-bench -analysis-time
+//	conair-bench -all -quick -json > BENCH_0.json
+//
+// Seeded runs fan out across a worker pool (-workers, default GOMAXPROCS)
+// with deterministic results: the same flags produce the same tables at
+// any worker count. -json emits a machine-readable document including
+// throughput (runs/sec, steps/sec) for perf-trajectory tracking.
 //
 // Measured "time" is deterministic interpreter steps; the workloads are
 // scaled ~10x down from the paper's dynamic volumes (see DESIGN.md), so
@@ -26,22 +33,64 @@ import (
 // emit renders a table in the selected format.
 var emit = func(t *report.Table) { fmt.Println(t) }
 
+// quick's fast settings (the historical defaults, for development loops).
+const (
+	quickRuns  = 100
+	quickSeeds = 3
+	paperRuns  = 1000
+	paperSeeds = 20
+)
+
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-7)")
 	figure := flag.Int("figure", 0, "regenerate one figure (2 or 4)")
 	analysisTime := flag.Bool("analysis-time", false, "regenerate the §6.4 analysis-time measurements")
 	ablation := flag.Bool("ablation", false, "design-choice ablation (region policy, interproc, optimization)")
-	runs := flag.Int("runs", 100, "forced-failure runs per mode for Table 3 (paper: 1000)")
-	overheadSeeds := flag.Int("overhead-seeds", 3, "scheduler seeds overhead is averaged over (paper: 20 runs)")
+	runs := flag.Int("runs", paperRuns, "forced-failure runs per mode for Table 3 (paper: 1000)")
+	overheadSeeds := flag.Int("overhead-seeds", paperSeeds, "scheduler seeds overhead is averaged over (paper: 20 runs)")
+	quick := flag.Bool("quick", false, fmt.Sprintf("fast settings: -runs %d -overhead-seeds %d (unless set explicitly)", quickRuns, quickSeeds))
+	workers := flag.Int("workers", 0, "parallel-engine worker count (0 = GOMAXPROCS; results are identical at any count)")
 	all := flag.Bool("all", false, "regenerate everything")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit one JSON document with table data and throughput (runs/sec, steps/sec)")
 	flag.Parse()
+
+	if *quick {
+		// Explicitly-set flags win over -quick's bundle.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["runs"] {
+			*runs = quickRuns
+		}
+		if !set["overhead-seeds"] {
+			*overheadSeeds = quickSeeds
+		}
+	}
+	experiments.SetWorkers(*workers)
 	if *csvOut {
 		emit = func(t *report.Table) { fmt.Print(t.CSV()) }
 	}
 
+	sel := selection{
+		table:        *table,
+		figure:       *figure,
+		analysisTime: *analysisTime,
+		ablation:     *ablation,
+		all:          *all,
+		runs:         *runs,
+		seeds:        *overheadSeeds,
+		workers:      *workers,
+		quick:        *quick,
+	}
+	if *jsonOut {
+		if !runJSON(os.Stdout, sel) {
+			usageExit()
+		}
+		return
+	}
+
 	ran := false
-	want := func(t int) bool { return *all || *table == t }
+	want := sel.want
 
 	if want(1) {
 		printTable1()
@@ -71,11 +120,11 @@ func main() {
 		printTable7()
 		ran = true
 	}
-	if *all || *figure == 2 {
+	if sel.wantFigure(2) {
 		printFigure2()
 		ran = true
 	}
-	if *all || *figure == 4 {
+	if sel.wantFigure(4) {
 		printFigure4()
 		ran = true
 	}
@@ -88,10 +137,30 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N or -analysis-time")
-		flag.PrintDefaults()
-		os.Exit(2)
+		usageExit()
 	}
+}
+
+// selection is which sections to regenerate, and at what scale.
+type selection struct {
+	table, figure          int
+	analysisTime, ablation bool
+	all                    bool
+	runs, seeds            int
+	workers                int
+	quick                  bool
+}
+
+func (s selection) want(t int) bool       { return s.all || s.table == t }
+func (s selection) wantFigure(f int) bool { return s.all || s.figure == f }
+func (s selection) anySelected() bool {
+	return s.all || s.table != 0 || s.figure != 0 || s.analysisTime || s.ablation
+}
+
+func usageExit() {
+	fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N or -analysis-time")
+	flag.PrintDefaults()
+	os.Exit(2)
 }
 
 // printTable1 renders the paper's qualitative technique comparison. The

@@ -5,6 +5,7 @@ import (
 	"conair/internal/core"
 	"conair/internal/interp"
 	"conair/internal/mir"
+	"conair/internal/runner"
 )
 
 // Ablations measures what each ConAir design choice buys, on the bugs
@@ -58,39 +59,39 @@ func Ablations(runs int) []AblationRow {
 		}},
 	}
 
-	var out []AblationRow
-	for _, cfg := range configs {
-		for _, app := range ablationApps {
-			b := bugs.ByName(app)
-			opts := cfg.mk()
-			// Bound the useless-retry loops ablated configurations run
-			// into, so "not recovered" is observed quickly rather than
-			// after a million stale reexecutions.
-			opts.Transform.MaxRetry = 20_000
+	// One grid cell per (configuration, app) pair, fanned across the
+	// worker pool; the result slice is indexed by cell, so row order is
+	// identical to the historical nested loop.
+	n := len(ablationApps)
+	return runner.Map(eng, len(configs)*n, func(cell int) AblationRow {
+		cfg, app := configs[cell/n], ablationApps[cell%n]
+		b := bugs.ByName(app)
+		p := prep(b)
+		opts := cfg.mk()
+		// Bound the useless-retry loops ablated configurations run
+		// into, so "not recovered" is observed quickly rather than
+		// after a million stale reexecutions.
+		opts.Transform.MaxRetry = 20_000
 
-			forced := b.Program(bugs.Config{Light: true, ForceBug: true})
-			hForced := mustHarden(forced, opts)
-			recovered := true
-			for seed := 0; seed < runs; seed++ {
-				if !interp.RunModule(hForced.Module, runCfg(int64(seed))).Completed {
-					recovered = false
-					break
-				}
+		hForced := mustHarden(p.forced, opts)
+		recovered := true
+		for seed := 0; seed < runs; seed++ {
+			if !interp.RunModule(hForced.Module, runCfg(int64(seed))).Completed {
+				recovered = false
+				break
 			}
-
-			clean := b.Program(bugs.Config{})
-			hClean := mustHarden(clean, opts)
-			orig := interp.RunModule(clean, runCfg(1)).Stats.Steps
-			hard := interp.RunModule(hClean.Module, runCfg(1)).Stats.Steps
-
-			out = append(out, AblationRow{
-				Config:       cfg.name,
-				App:          app,
-				Recovered:    recovered,
-				StaticPoints: hClean.Report.StaticReexecPoints,
-				OverheadPct:  100 * float64(hard-orig) / float64(orig),
-			})
 		}
-	}
-	return out
+
+		hClean := mustHarden(p.clean, opts)
+		orig := interp.RunModule(p.clean, runCfg(1)).Stats.Steps
+		hard := interp.RunModule(hClean.Module, runCfg(1)).Stats.Steps
+
+		return AblationRow{
+			Config:       cfg.name,
+			App:          app,
+			Recovered:    recovered,
+			StaticPoints: hClean.Report.StaticReexecPoints,
+			OverheadPct:  100 * float64(hard-orig) / float64(orig),
+		}
+	})
 }

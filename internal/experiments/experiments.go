@@ -25,6 +25,7 @@ import (
 	"conair/internal/core"
 	"conair/internal/interp"
 	"conair/internal/mir"
+	"conair/internal/runner"
 	"conair/internal/sched"
 )
 
@@ -59,19 +60,18 @@ type Table2Row struct {
 
 // Table2 regenerates Table 2.
 func Table2() []Table2Row {
-	var out []Table2Row
-	for _, b := range bugs.All() {
-		m := b.Program(bugs.Config{ForceBug: true})
-		out = append(out, Table2Row{
+	bs := bugs.All()
+	return runner.Map(eng, len(bs), func(i int) Table2Row {
+		b := bs[i]
+		return Table2Row{
 			Name:      b.Name,
 			AppType:   b.AppType,
 			PaperLOC:  b.Paper.LOC,
-			MIRInstrs: m.NumInstrs(),
+			MIRInstrs: prep(b).forcedFull.NumInstrs(),
 			Failure:   b.Symptom.String(),
 			Cause:     b.RootCause,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // ---------------------------------------------------------------- Table 3
@@ -103,7 +103,10 @@ func Table3(runs, overheadSeeds int) []Table3Row {
 		overheadSeeds = 1
 	}
 	var out []Table3Row
+	// Sequential over apps; the engine fans out the per-app seed sweeps
+	// (runs per mode, overheadSeeds triples), which carry all the volume.
 	for _, b := range bugs.All() {
+		p := prep(b)
 		row := Table3Row{
 			Name:             b.Name,
 			Conditional:      b.NeedsOracle,
@@ -114,48 +117,34 @@ func Table3(runs, overheadSeeds int) []Table3Row {
 
 		// Recovery: forced, light workload (recovery behaviour does not
 		// depend on workload volume), `runs` seeds per mode.
-		forced := b.Program(bugs.Config{Light: true, ForceBug: true})
-		fixPos, err := b.FixSite(forced)
-		if err != nil {
-			panic(err)
-		}
-		hFix := mustHarden(forced, core.FixOptions(fixPos))
-		hSurv := mustHarden(forced, hardenOpts())
-		row.RecoveredFix = allRecover(hFix.Module, runs)
-		row.RecoveredSurvival = allRecover(hSurv.Module, runs)
+		row.RecoveredFix = eng.AllComplete(p.forcedFix.Module, runs, expMaxSteps)
+		row.RecoveredSurvival = eng.AllComplete(p.forcedSurv.Module, runs, expMaxSteps)
 
 		// Overhead: failure-free, full workload, deterministic steps,
-		// averaged over scheduler seeds.
-		clean := b.Program(bugs.Config{})
-		cleanFixPos, err := b.FixSite(clean)
-		if err != nil {
-			panic(err)
-		}
-		fixMod := mustHarden(clean, core.FixOptions(cleanFixPos)).Module
-		survMod := mustHarden(clean, hardenOpts()).Module
+		// averaged over scheduler seeds. Each seed's percentages come from
+		// integer step counts, so parallel execution changes nothing; the
+		// sums accumulate in seed order to keep float results bit-stable.
+		type pcts struct{ fix, surv float64 }
+		per := runner.Map(eng, overheadSeeds, func(i int) pcts {
+			seed := int64(i + 1)
+			orig := interp.RunModule(p.clean, runCfg(seed)).Stats.Steps
+			fixed := interp.RunModule(p.cleanFix.Module, runCfg(seed)).Stats.Steps
+			surv := interp.RunModule(p.cleanSurv.Module, runCfg(seed)).Stats.Steps
+			return pcts{
+				fix:  100 * float64(fixed-orig) / float64(orig),
+				surv: 100 * float64(surv-orig) / float64(orig),
+			}
+		})
 		var fixSum, survSum float64
-		for seed := int64(1); seed <= int64(overheadSeeds); seed++ {
-			orig := interp.RunModule(clean, runCfg(seed)).Stats.Steps
-			fixed := interp.RunModule(fixMod, runCfg(seed)).Stats.Steps
-			surv := interp.RunModule(survMod, runCfg(seed)).Stats.Steps
-			fixSum += 100 * float64(fixed-orig) / float64(orig)
-			survSum += 100 * float64(surv-orig) / float64(orig)
+		for _, q := range per {
+			fixSum += q.fix
+			survSum += q.surv
 		}
 		row.OverheadFixPct = fixSum / float64(overheadSeeds)
 		row.OverheadSurvivalPct = survSum / float64(overheadSeeds)
 		out = append(out, row)
 	}
 	return out
-}
-
-func allRecover(m *mir.Module, runs int) bool {
-	for seed := 0; seed < runs; seed++ {
-		r := interp.RunModule(m, runCfg(int64(seed)))
-		if !r.Completed {
-			return false
-		}
-	}
-	return true
 }
 
 // ---------------------------------------------------------------- Table 4
@@ -172,10 +161,10 @@ type Table4Row struct {
 
 // Table4 regenerates Table 4.
 func Table4() []Table4Row {
-	var out []Table4Row
-	for _, b := range bugs.All() {
-		m := b.Program(bugs.Config{Light: true, ForceBug: true})
-		res, err := analysis.Analyze(m, analysis.DefaultOptions())
+	bs := bugs.All()
+	return runner.Map(eng, len(bs), func(i int) Table4Row {
+		b := bs[i]
+		res, err := analysis.Analyze(prep(b).forced, analysis.DefaultOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -185,7 +174,7 @@ func Table4() []Table4Row {
 				keptDeadlock++
 			}
 		}
-		out = append(out, Table4Row{
+		return Table4Row{
 			Name:        b.Name,
 			Assert:      res.Census.Assert,
 			WrongOutput: res.Census.WrongOutput,
@@ -193,9 +182,8 @@ func Table4() []Table4Row {
 			Deadlock:    keptDeadlock,
 			Total:       res.Census.Assert + res.Census.WrongOutput + res.Census.Segfault + keptDeadlock,
 			Paper:       b.Paper.Sites,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // ---------------------------------------------------------------- Table 5
@@ -213,28 +201,22 @@ type Table5Row struct {
 
 // Table5 regenerates Table 5.
 func Table5() []Table5Row {
-	var out []Table5Row
-	for _, b := range bugs.All() {
-		m := b.Program(bugs.Config{})
-		pos, err := b.FixSite(m)
-		if err != nil {
-			panic(err)
-		}
-		hSurv := mustHarden(m, hardenOpts())
-		hFix := mustHarden(m, core.FixOptions(pos))
-		rs := interp.RunModule(hSurv.Module, runCfg(1))
-		rf := interp.RunModule(hFix.Module, runCfg(1))
-		out = append(out, Table5Row{
+	bs := bugs.All()
+	return runner.Map(eng, len(bs), func(i int) Table5Row {
+		b := bs[i]
+		p := prep(b)
+		rs := interp.RunModule(p.cleanSurv.Module, runCfg(1))
+		rf := interp.RunModule(p.cleanFix.Module, runCfg(1))
+		return Table5Row{
 			Name:            b.Name,
-			SurvivalStatic:  hSurv.Report.StaticReexecPoints,
-			FixStatic:       hFix.Report.StaticReexecPoints,
+			SurvivalStatic:  p.cleanSurv.Report.StaticReexecPoints,
+			FixStatic:       p.cleanFix.Report.StaticReexecPoints,
 			SurvivalDynamic: rs.Stats.Checkpoints,
 			FixDynamic:      rf.Stats.Checkpoints,
 			PaperStatic:     b.Paper.ReexecStatic,
 			PaperDynamic:    b.Paper.ReexecDynamic,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // ---------------------------------------------------------------- Table 6
@@ -252,9 +234,10 @@ type Table6Row struct {
 // Table6 regenerates Table 6 by hardening each app with the optimization
 // on and off and comparing static plants and dynamic executions.
 func Table6() []Table6Row {
-	var out []Table6Row
-	for _, b := range bugs.All() {
-		m := b.Program(bugs.Config{Light: true})
+	bs := bugs.All()
+	return runner.Map(eng, len(bs), func(i int) Table6Row {
+		b := bs[i]
+		m := prep(b).lightClean
 		optOn := hardenOpts()
 		optOff := hardenOpts()
 		optOff.Optimize = false
@@ -267,15 +250,14 @@ func Table6() []Table6Row {
 		dynOnD, dynOnN := dynamicByClass(hOn, 1)
 		dynOffD, dynOffN := dynamicByClass(hOff, 1)
 
-		out = append(out, Table6Row{
+		return Table6Row{
 			Name:                  b.Name,
 			NonDeadlockStaticPct:  removedPct(staticOffN, staticOnN),
 			NonDeadlockDynamicPct: removedPct64(dynOffN, dynOnN),
 			DeadlockStaticPct:     removedPct(staticOffD, staticOnD),
 			DeadlockDynamicPct:    removedPct64(dynOffD, dynOnD),
-		})
-	}
-	return out
+		}
+	})
 }
 
 func removedPct(off, on int) float64 {
@@ -328,25 +310,19 @@ type Table7Row struct {
 
 // Table7 regenerates Table 7.
 func Table7() []Table7Row {
-	var out []Table7Row
-	for _, b := range bugs.All() {
+	bs := bugs.All()
+	return runner.Map(eng, len(bs), func(i int) Table7Row {
+		b := bs[i]
+		p := prep(b)
 		// Recovery: forced light run under fix-mode hardening.
-		forced := b.Program(bugs.Config{Light: true, ForceBug: true})
-		pos, err := b.FixSite(forced)
-		if err != nil {
-			panic(err)
-		}
-		h := mustHarden(forced, core.FixOptions(pos))
-		r := interp.RunModule(h.Module, runCfg(7))
+		r := interp.RunModule(p.forcedFix.Module, runCfg(7))
 		var recSteps, retries int64
 		if e := r.MaxEpisode(); e != nil {
 			recSteps, retries = e.Duration(), e.Retries
 		}
 
 		// Restart: full-workload forced failure + full clean rerun.
-		failing := b.Program(bugs.Config{ForceBug: true})
-		clean := b.Program(bugs.Config{})
-		rr := baseline.Restart(failing, clean, 7, 200_000_000)
+		rr := baseline.Restart(p.forcedFull, p.clean, 7, expMaxSteps)
 
 		row := Table7Row{
 			Name:                b.Name,
@@ -360,9 +336,8 @@ func Table7() []Table7Row {
 		if recSteps > 0 {
 			row.Speedup = float64(rr.TotalSteps) / float64(recSteps)
 		}
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // ---------------------------------------------------------------- Figure 2
@@ -381,8 +356,9 @@ type Figure2Row struct {
 
 // Figure2 regenerates the Figure 2 pattern study.
 func Figure2() []Figure2Row {
-	var out []Figure2Row
-	for _, p := range bugs.Figure2Patterns() {
+	patterns := bugs.Figure2Patterns()
+	return runner.Map(eng, len(patterns), func(i int) Figure2Row {
+		p := patterns[i]
 		m := p.Build()
 		row := Figure2Row{Pattern: p.Name, PaperSaysRecoverable: p.ConAirRecovers}
 		row.FailsUnprotected = !interp.RunModule(m, runCfg(1)).Completed
@@ -399,9 +375,8 @@ func Figure2() []Figure2Row {
 			Interval: 25, Seed: 5, PerturbBound: 400, MaxSteps: 5_000_000,
 		})
 		row.CheckpointRecovered = cb.Completed
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // ---------------------------------------------------------------- Figure 4
@@ -420,18 +395,14 @@ type Figure4Row struct {
 // representative app (ZSNES): ConAir's idempotent regions at the cheap
 // end, whole-program checkpointing at several intervals, and restart.
 func Figure4() []Figure4Row {
-	b := bugs.ByName("ZSNES")
-	clean := b.Program(bugs.Config{})
-	forced := b.Program(bugs.Config{Light: true, ForceBug: true})
-	origSteps := interp.RunModule(clean, runCfg(1)).Stats.Steps
+	p := prep(bugs.ByName("ZSNES"))
+	origSteps := interp.RunModule(p.clean, runCfg(1)).Stats.Steps
 
 	var out []Figure4Row
 
 	// ConAir.
-	hClean := mustHarden(clean, hardenOpts())
-	hForced := mustHarden(forced, hardenOpts())
-	hardSteps := interp.RunModule(hClean.Module, runCfg(1)).Stats.Steps
-	rf := interp.RunModule(hForced.Module, runCfg(7))
+	hardSteps := interp.RunModule(p.cleanSurv.Module, runCfg(1)).Stats.Steps
+	rf := interp.RunModule(p.forcedSurv.Module, runCfg(7))
 	var rec int64
 	if e := rf.MaxEpisode(); e != nil {
 		rec = e.Duration()
@@ -443,21 +414,23 @@ func Figure4() []Figure4Row {
 		Recovered:     rf.Completed,
 	})
 
-	// Whole-program checkpointing at decreasing density.
-	for _, interval := range []int64{1_000, 10_000, 100_000} {
-		cfg := baseline.CheckpointConfig{Interval: interval, Seed: 5, PerturbBound: 1200, MaxSteps: 100_000_000}
-		cb := baseline.RunCheckpointed(clean, cfg)
-		fb := baseline.RunCheckpointed(forced, cfg)
-		out = append(out, Figure4Row{
-			Design:        "full-checkpoint-every-" + itoa(interval),
+	// Whole-program checkpointing at decreasing density, one design point
+	// per worker (the snapshot-heavy baseline dominates Figure 4's cost).
+	intervals := []int64{1_000, 10_000, 100_000}
+	out = append(out, runner.Map(eng, len(intervals), func(i int) Figure4Row {
+		cfg := baseline.CheckpointConfig{Interval: intervals[i], Seed: 5, PerturbBound: 1200, MaxSteps: 100_000_000}
+		cb := baseline.RunCheckpointed(p.clean, cfg)
+		fb := baseline.RunCheckpointed(p.forced, cfg)
+		return Figure4Row{
+			Design:        "full-checkpoint-every-" + itoa(intervals[i]),
 			OverheadPct:   100 * float64(cb.Steps-origSteps) / float64(origSteps),
 			RecoverySteps: fb.RecoverySteps,
 			Recovered:     fb.Completed,
-		})
-	}
+		}
+	})...)
 
 	// Whole-program restart.
-	rr := baseline.Restart(b.Program(bugs.Config{ForceBug: true}), clean, 7, 200_000_000)
+	rr := baseline.Restart(p.forcedFull, p.clean, 7, expMaxSteps)
 	out = append(out, Figure4Row{
 		Design:        "whole-program-restart",
 		OverheadPct:   0,
@@ -491,11 +464,14 @@ type AnalysisTimeRow struct {
 	Transform time.Duration
 }
 
-// AnalysisTimes regenerates the §6.4 analysis-time measurements.
+// AnalysisTimes regenerates the §6.4 analysis-time measurements. The
+// sweep stays sequential on purpose: it measures wall-clock hardening
+// time, and parallel workers contending for cores would inflate every
+// sample.
 func AnalysisTimes() []AnalysisTimeRow {
 	var out []AnalysisTimeRow
 	for _, b := range bugs.All() {
-		m := b.Program(bugs.Config{Light: true})
+		m := prep(b).lightClean
 		intraOpts := hardenOpts()
 		intraOpts.Interproc = false
 		hIntra := mustHarden(m, intraOpts)

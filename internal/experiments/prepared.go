@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"sync"
+
+	"conair/internal/bugs"
+	"conair/internal/core"
+	"conair/internal/mir"
+	"conair/internal/runner"
+)
+
+// eng is the worker pool every experiment sweep fans out on. The zero
+// value runs on GOMAXPROCS workers; SetWorkers overrides (1 pins the
+// sequential reference path the determinism tests compare against).
+var eng runner.Engine
+
+// SetWorkers sets the worker-pool size for all experiment sweeps; n <= 0
+// restores the GOMAXPROCS default. Returns the previous setting.
+func SetWorkers(n int) int {
+	prev := eng.Workers
+	eng.Workers = n
+	return prev
+}
+
+// preparedBug caches every program variant and default hardening of one
+// bug, so each is built once per process instead of once per table. All
+// construction is deterministic and the interpreter never mutates a
+// module, so sharing prepared modules across tables — and across worker
+// goroutines — cannot change any result.
+type preparedBug struct {
+	bug  *bugs.Bug
+	once sync.Once
+
+	forced     *mir.Module    // light workload, forced failure
+	forcedFull *mir.Module    // full workload, forced failure
+	clean      *mir.Module    // full workload, failure-free
+	lightClean *mir.Module    // light workload, failure-free
+	forcedFix  *core.Hardened // forced, fix-mode hardened
+	forcedSurv *core.Hardened // forced, survival hardened
+	cleanFix   *core.Hardened
+	cleanSurv  *core.Hardened
+}
+
+var (
+	prepMu    sync.Mutex
+	prepCache = map[string]*preparedBug{}
+)
+
+// prep returns the cached preparation for b, building it on first use.
+// The per-entry once lets distinct bugs build concurrently while repeat
+// callers block only on their own bug.
+func prep(b *bugs.Bug) *preparedBug {
+	prepMu.Lock()
+	p, ok := prepCache[b.Name]
+	if !ok {
+		p = &preparedBug{bug: b}
+		prepCache[b.Name] = p
+	}
+	prepMu.Unlock()
+	p.once.Do(p.build)
+	return p
+}
+
+func (p *preparedBug) build() {
+	b := p.bug
+	p.forced = b.Program(bugs.Config{Light: true, ForceBug: true})
+	p.forcedFull = b.Program(bugs.Config{ForceBug: true})
+	p.clean = b.Program(bugs.Config{})
+	p.lightClean = b.Program(bugs.Config{Light: true})
+
+	fPos, err := b.FixSite(p.forced)
+	if err != nil {
+		panic(err)
+	}
+	cPos, err := b.FixSite(p.clean)
+	if err != nil {
+		panic(err)
+	}
+	p.forcedFix = mustHarden(p.forced, core.FixOptions(fPos))
+	p.forcedSurv = mustHarden(p.forced, hardenOpts())
+	p.cleanFix = mustHarden(p.clean, core.FixOptions(cPos))
+	p.cleanSurv = mustHarden(p.clean, hardenOpts())
+}
+
+// expMaxSteps is the step cutoff shared by all experiment runs (matches
+// runCfg).
+const expMaxSteps = 200_000_000

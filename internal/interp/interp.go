@@ -25,8 +25,24 @@ type VM struct {
 	done    bool
 	mainTID int
 	exit    mir.Word
+	counted bool
 
 	runnableBuf []int
+
+	// live lists the ids of non-done threads in ascending id order, and
+	// waiting counts how many of them are not statusRunnable. Together they
+	// replace the per-step all-threads rescan in pickThread: when waiting
+	// is zero the live list IS the runnable list (the overwhelmingly common
+	// case), and otherwise only live threads are scanned. Every status
+	// transition must go through setStatus to keep both consistent.
+	live    []int
+	liveT   []*thread // same order as live; lets the scan path range pointers
+	waiting int
+
+	// pools recycles frame register/slot arrays per function, so the call
+	// hot path reuses zeroed arrays instead of allocating. Indexed by
+	// function; each entry stacks {regs, slots} pairs of retired frames.
+	pools [][][2][]mir.Word
 }
 
 // New prepares a VM for the module. The module must contain a main
@@ -41,13 +57,100 @@ func New(mod *mir.Module, cfg Config) *VM {
 		panic(mir.ErrNoMain)
 	}
 	vm := &VM{
-		mod:  mod,
-		cfg:  cfg,
-		mem:  newMemory(mod),
-		lcks: newLocks(),
+		mod:   mod,
+		cfg:   cfg,
+		mem:   newMemory(mod),
+		lcks:  newLocks(),
+		pools: make([][][2][]mir.Word, len(mod.Functions)),
 	}
 	vm.mainTID = vm.spawn(mi, nil)
 	return vm
+}
+
+// waits reports whether a status keeps a live thread out of the runnable
+// fast path.
+func waits(s threadStatus) bool {
+	return s == statusSleeping || s == statusBlockedLock || s == statusBlockedJoin
+}
+
+// setStatus transitions t to s, maintaining the live list and the waiting
+// counter. All status writes after spawn must go through here.
+func (vm *VM) setStatus(t *thread, s threadStatus) {
+	old := t.status
+	if old == s {
+		return
+	}
+	t.status = s
+	if waits(old) {
+		vm.waiting--
+	}
+	switch {
+	case waits(s):
+		vm.waiting++
+	case s == statusDone:
+		vm.removeLive(t.id)
+	}
+}
+
+// removeLive deletes id from the (ascending) live list.
+func (vm *VM) removeLive(id int) {
+	i := sort.SearchInts(vm.live, id)
+	if i < len(vm.live) && vm.live[i] == id {
+		vm.live = append(vm.live[:i], vm.live[i+1:]...)
+		vm.liveT = append(vm.liveT[:i], vm.liveT[i+1:]...)
+	}
+}
+
+// rebuildLive reconstructs the live list and waiting counter from thread
+// statuses; snapshot restore replaces the thread set wholesale and calls
+// this instead of replaying transitions.
+func (vm *VM) rebuildLive() {
+	vm.live = vm.live[:0]
+	vm.liveT = vm.liveT[:0]
+	vm.waiting = 0
+	for _, t := range vm.threads {
+		if t.status == statusDone {
+			continue
+		}
+		vm.live = append(vm.live, t.id)
+		vm.liveT = append(vm.liveT, t)
+		if t.status != statusRunnable {
+			vm.waiting++
+		}
+	}
+}
+
+// newFrame builds an activation record for function fi, reusing a pooled
+// register/slot pair when one is free. Reused arrays are zeroed, so a
+// pooled frame is indistinguishable from a fresh one.
+func (vm *VM) newFrame(fi, retDst int) frame {
+	f := &vm.mod.Functions[fi]
+	var regs, slots []mir.Word
+	if pool := vm.pools[fi]; len(pool) > 0 {
+		pair := pool[len(pool)-1]
+		vm.pools[fi] = pool[:len(pool)-1]
+		regs, slots = pair[0], pair[1]
+		clear(regs)
+		clear(slots)
+	} else {
+		nr := f.NumRegs()
+		buf := make([]mir.Word, nr+len(f.SlotNames))
+		regs, slots = buf[:nr:nr], buf[nr:]
+	}
+	return frame{fn: fi, regs: regs, slots: slots, retDst: retDst}
+}
+
+// recycleFrame returns a retired frame's arrays to the per-function pool.
+func (vm *VM) recycleFrame(fr *frame) {
+	vm.pools[fr.fn] = append(vm.pools[fr.fn], [2][]mir.Word{fr.regs, fr.slots})
+	fr.regs, fr.slots = nil, nil
+}
+
+// posOf names the instruction fr is about to execute. It exists so the
+// failure and trace paths can build a mir.Pos on demand instead of exec
+// materializing one on every step.
+func posOf(fr *frame) mir.Pos {
+	return mir.Pos{Fn: fr.fn, Block: fr.block, Index: fr.index}
 }
 
 // Run executes the module to completion, failure, or the step cutoff.
@@ -82,6 +185,13 @@ func (vm *VM) result() *Result {
 		Stats:     vm.stats,
 	}
 	r.Stats.Steps = vm.step
+	if !vm.counted {
+		// Count each run once even if result() is built repeatedly
+		// (Finish may be called more than once on a StepOnce-driven VM).
+		vm.counted = true
+		totalRuns.Add(1)
+		totalSteps.Add(vm.step)
+	}
 	// Surface episodes still open at program end as unrecovered.
 	for _, t := range vm.threads {
 		for _, e := range t.episodes {
@@ -96,18 +206,14 @@ func (vm *VM) result() *Result {
 
 // spawn creates a thread running function fi with the given arguments.
 func (vm *VM) spawn(fi int, args []mir.Word) int {
-	f := &vm.mod.Functions[fi]
 	t := &thread{id: vm.nextTID}
 	vm.nextTID++
-	fr := frame{
-		fn:     fi,
-		regs:   make([]mir.Word, f.NumRegs()),
-		slots:  make([]mir.Word, len(f.SlotNames)),
-		retDst: -1,
-	}
+	fr := vm.newFrame(fi, -1)
 	copy(fr.regs, args)
 	t.frames = append(t.frames, fr)
 	vm.threads = append(vm.threads, t)
+	vm.live = append(vm.live, t.id) // ids ascend, so append keeps order
+	vm.liveT = append(vm.liveT, t)
 	vm.stats.ThreadsSpawned++
 	return t.id
 }
@@ -115,19 +221,35 @@ func (vm *VM) spawn(fi int, args []mir.Word) int {
 // pickThread collects runnable threads (waking sleepers and expiring lock
 // timeouts) and asks the scheduler to choose. When nothing can run it
 // reports a deadlock or ends the program.
+//
+// The live list is maintained incrementally by setStatus, so when no live
+// thread waits the list is handed to the scheduler as-is — no scan at all.
+// Only when some thread sleeps or blocks does the (live-only) scan run to
+// wake sleepers, expire lock timeouts and resolve joins. Both paths
+// produce exactly the runnable set the historical all-threads rescan did:
+// membership and (ascending id) order are identical, so seeded schedules
+// are unchanged.
 func (vm *VM) pickThread() (int, bool) {
 	for {
+		if vm.waiting == 0 {
+			if len(vm.live) == 0 {
+				// Every thread is done but main never returned? (Cannot
+				// happen: main returning sets vm.done.) Treat as end.
+				return 0, false
+			}
+			return vm.cfg.Sched.Pick(vm.live, vm.step), true
+		}
 		runnable := vm.runnableBuf[:0]
 		var minWake int64 = -1
 		anyLive := false
-		for _, t := range vm.threads {
+		for _, t := range vm.liveT {
 			switch t.status {
 			case statusRunnable:
 				runnable = append(runnable, t.id)
 			case statusSleeping:
 				anyLive = true
 				if t.wakeAt <= vm.step {
-					t.status = statusRunnable
+					vm.setStatus(t, statusRunnable)
 					runnable = append(runnable, t.id)
 				} else if minWake < 0 || t.wakeAt < minWake {
 					minWake = t.wakeAt
@@ -156,10 +278,9 @@ func (vm *VM) pickThread() (int, bool) {
 				anyLive = true
 				if vm.threadByID(t.joinTarget) == nil ||
 					vm.threadByID(t.joinTarget).status == statusDone {
-					t.status = statusRunnable
+					vm.setStatus(t, statusRunnable)
 					runnable = append(runnable, t.id)
 				}
-			case statusDone:
 			}
 		}
 		vm.runnableBuf = runnable
@@ -167,8 +288,6 @@ func (vm *VM) pickThread() (int, bool) {
 			return vm.cfg.Sched.Pick(runnable, vm.step), true
 		}
 		if !anyLive {
-			// Every thread is done but main never returned? (Cannot
-			// happen: main returning sets vm.done.) Treat as end.
 			return 0, false
 		}
 		if minWake > vm.step {
@@ -213,12 +332,11 @@ func (vm *VM) exec(t *thread) {
 	fr := t.top()
 	f := &vm.mod.Functions[fr.fn]
 	in := &f.Blocks[fr.block].Instrs[fr.index]
-	pos := mir.Pos{Fn: fr.fn, Block: fr.block, Index: fr.index}
 	advance := true
 
 	if vm.cfg.Trace != nil {
 		fmt.Fprintf(vm.cfg.Trace, "step=%d tid=%d pos=%s %s\n",
-			vm.step, t.id, pos, mir.FormatInstr(vm.mod, f, in))
+			vm.step, t.id, posOf(fr), mir.FormatInstr(vm.mod, f, in))
 	}
 
 	switch in.Op {
@@ -243,7 +361,7 @@ func (vm *VM) exec(t *thread) {
 		addr := eval(fr, in.A)
 		v, ok := vm.mem.load(addr)
 		if !ok {
-			vm.fail(mir.FailSegfault, pos, in.Site, t.id,
+			vm.fail(mir.FailSegfault, posOf(fr), in.Site, t.id,
 				fmt.Sprintf("invalid read at address %d", addr))
 			return
 		}
@@ -252,7 +370,7 @@ func (vm *VM) exec(t *thread) {
 	case mir.OpStore:
 		addr := eval(fr, in.A)
 		if !vm.mem.store(addr, eval(fr, in.B)) {
-			vm.fail(mir.FailSegfault, pos, in.Site, t.id,
+			vm.fail(mir.FailSegfault, posOf(fr), in.Site, t.id,
 				fmt.Sprintf("invalid write at address %d", addr))
 			return
 		}
@@ -279,23 +397,23 @@ func (vm *VM) exec(t *thread) {
 		switch {
 		case !mu.held:
 			mu.held, mu.holder = true, t.id
-			t.status = statusRunnable
+			vm.setStatus(t, statusRunnable)
 			if t.jmp != nil {
 				t.pushComp(compLock, addr)
 			}
 		case mu.holder == t.id && t.status != statusBlockedLock:
-			vm.fail(mir.FailHang, pos, in.Site, t.id,
+			vm.fail(mir.FailHang, posOf(fr), in.Site, t.id,
 				fmt.Sprintf("self-deadlock on lock %d", addr))
 			return
 		default:
 			if t.status != statusBlockedLock {
-				t.status = statusBlockedLock
+				vm.setStatus(t, statusBlockedLock)
 				t.blockAddr = addr
 				t.blockedSince = vm.step
 				t.blockTimeout = 0
 				if !vm.cfg.NoDeadlockCycles {
 					if cycle := vm.deadlockCycle(t); cycle != nil {
-						vm.fail(mir.FailHang, pos, in.Site, t.id,
+						vm.fail(mir.FailHang, posOf(fr), in.Site, t.id,
 							fmt.Sprintf("deadlock: wait-for cycle among threads %v", cycle))
 						return
 					}
@@ -313,7 +431,7 @@ func (vm *VM) exec(t *thread) {
 		switch {
 		case !mu.held:
 			mu.held, mu.holder = true, t.id
-			t.status = statusRunnable
+			vm.setStatus(t, statusRunnable)
 			fr.regs[in.Dst] = 1
 			if t.jmp != nil {
 				t.pushComp(compLock, addr)
@@ -326,11 +444,11 @@ func (vm *VM) exec(t *thread) {
 		case selfHeld || expired:
 			// Self-acquisition would never succeed; treat it as an
 			// immediate timeout. An expired wait reports timeout too.
-			t.status = statusRunnable
+			vm.setStatus(t, statusRunnable)
 			fr.regs[in.Dst] = 0
 		default:
 			if !waiting {
-				t.status = statusBlockedLock
+				vm.setStatus(t, statusBlockedLock)
 				t.blockAddr = addr
 				t.blockedSince = vm.step
 				t.blockTimeout = int64(in.Timeout)
@@ -348,13 +466,7 @@ func (vm *VM) exec(t *thread) {
 		// interpreter ignores it, as the analyses never generate it.
 
 	case mir.OpCall:
-		callee := &vm.mod.Functions[in.Callee]
-		nfr := frame{
-			fn:     in.Callee,
-			regs:   make([]mir.Word, callee.NumRegs()),
-			slots:  make([]mir.Word, len(callee.SlotNames)),
-			retDst: in.Dst,
-		}
+		nfr := vm.newFrame(in.Callee, in.Dst)
 		for i, a := range in.Args {
 			nfr.regs[i] = eval(fr, a)
 		}
@@ -366,7 +478,7 @@ func (vm *VM) exec(t *thread) {
 
 	case mir.OpSpawn:
 		if len(vm.threads) >= vm.cfg.maxThreads() {
-			vm.fail(mir.FailHang, pos, 0, t.id, "thread limit exceeded")
+			vm.fail(mir.FailHang, posOf(fr), 0, t.id, "thread limit exceeded")
 			return
 		}
 		args := make([]mir.Word, len(in.Args))
@@ -379,7 +491,7 @@ func (vm *VM) exec(t *thread) {
 		target := int(eval(fr, in.A))
 		tt := vm.threadByID(target)
 		if tt != nil && tt.status != statusDone {
-			t.status = statusBlockedJoin
+			vm.setStatus(t, statusBlockedJoin)
 			t.joinTarget = target
 			advance = false
 		}
@@ -397,7 +509,7 @@ func (vm *VM) exec(t *thread) {
 			if in.AssertKind == mir.AssertOracle {
 				kind = mir.FailWrongOutput
 			}
-			vm.fail(kind, pos, in.Site, t.id, in.Text)
+			vm.fail(kind, posOf(fr), in.Site, t.id, in.Text)
 			return
 		}
 
@@ -407,7 +519,7 @@ func (vm *VM) exec(t *thread) {
 	case mir.OpSleep:
 		d := eval(fr, in.A)
 		if d > 0 {
-			t.status = statusSleeping
+			vm.setStatus(t, statusSleeping)
 			t.wakeAt = vm.step + d
 		}
 
@@ -416,7 +528,7 @@ func (vm *VM) exec(t *thread) {
 		if n > 0 {
 			d := mir.Word(vm.cfg.Sched.Intn(int(n) + 1))
 			if d > 0 {
-				t.status = statusSleeping
+				vm.setStatus(t, statusSleeping)
 				t.wakeAt = vm.step + d
 			}
 		}
@@ -456,7 +568,7 @@ func (vm *VM) exec(t *thread) {
 		// real failure (the instruction after the rollback).
 
 	case mir.OpFail:
-		vm.fail(in.FailKind, pos, in.Site, t.id, in.Text)
+		vm.fail(in.FailKind, posOf(fr), in.Site, t.id, in.Text)
 		return
 
 	case mir.OpBr:
@@ -483,13 +595,14 @@ func (vm *VM) exec(t *thread) {
 	case mir.OpRet:
 		ret := eval(fr, in.A)
 		t.frames = t.frames[:len(t.frames)-1]
+		vm.recycleFrame(fr)
 		// Returning out of the checkpoint's frame invalidates it, exactly
 		// like returning from the function that called setjmp.
 		if t.jmp != nil && t.jmp.frameDepth >= len(t.frames) {
 			t.jmp = nil
 		}
 		if len(t.frames) == 0 {
-			t.status = statusDone
+			vm.setStatus(t, statusDone)
 			t.result = ret
 			if t.id == vm.mainTID {
 				vm.done = true
@@ -504,7 +617,7 @@ func (vm *VM) exec(t *thread) {
 		return
 
 	default:
-		vm.fail(mir.FailHang, pos, 0, t.id, fmt.Sprintf("unimplemented op %v", in.Op))
+		vm.fail(mir.FailHang, posOf(fr), 0, t.id, fmt.Sprintf("unimplemented op %v", in.Op))
 		return
 	}
 
@@ -531,6 +644,9 @@ func (vm *VM) rollback(t *thread) {
 		}
 	}
 	jb := t.jmp
+	for i := jb.frameDepth + 1; i < len(t.frames); i++ {
+		vm.recycleFrame(&t.frames[i])
+	}
 	t.frames = t.frames[:jb.frameDepth+1]
 	fr := t.top()
 	copy(fr.regs, jb.regs)

@@ -1,10 +1,6 @@
 package interp
 
-import (
-	"sort"
-
-	"conair/internal/mir"
-)
+import "conair/internal/mir"
 
 // memory is the shared flat address space: globals at GlobalBase + index,
 // heap blocks bump-allocated from HeapBase. Uninitialized heap words read
@@ -14,6 +10,15 @@ type memory struct {
 	globals []mir.Word
 	blocks  []heapBlock // sorted by base (bump allocation keeps them sorted)
 	nextAdr mir.Word
+	// lastIdx caches the block hit by the previous findBlock. Heap access
+	// is strongly block-local (a workload loop walks one buffer), so the
+	// cache turns the common case into one bounds check instead of a
+	// binary search. It is an index hint only: every hit revalidates
+	// against the block's bounds, so staleness cannot change a result.
+	lastIdx int
+	// globalEnd is GlobalBase + len(globals), precomputed for the
+	// load/store fast path.
+	globalEnd mir.Word
 }
 
 type heapBlock struct {
@@ -24,8 +29,10 @@ type heapBlock struct {
 
 func newMemory(m *mir.Module) *memory {
 	mem := &memory{
-		globals: make([]mir.Word, len(m.Globals)),
-		nextAdr: HeapBase,
+		globals:   make([]mir.Word, len(m.Globals)),
+		nextAdr:   HeapBase,
+		lastIdx:   -1,
+		globalEnd: GlobalBase + mir.Word(len(m.Globals)),
 	}
 	for i, g := range m.Globals {
 		mem.globals[i] = g.Init
@@ -59,16 +66,34 @@ func (mem *memory) free(addr mir.Word) bool {
 	return true
 }
 
-// findBlock returns the index of the block containing addr, or -1.
+// findBlock returns the index of the block containing addr, or -1. The
+// last-hit cache short-circuits the binary search on block-local access
+// patterns; a miss falls through to an open-coded binary search (manual
+// rather than sort.Search so the comparison inlines).
 func (mem *memory) findBlock(addr mir.Word) int {
-	n := len(mem.blocks)
-	i := sort.Search(n, func(i int) bool { return mem.blocks[i].base > addr })
-	if i == 0 {
+	if i := mem.lastIdx; i >= 0 && i < len(mem.blocks) {
+		b := &mem.blocks[i]
+		if addr >= b.base && addr < b.base+mir.Word(len(b.data)) {
+			return i
+		}
+	}
+	// Binary search for the last block with base <= addr.
+	lo, hi := 0, len(mem.blocks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if mem.blocks[mid].base > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return -1
 	}
-	b := &mem.blocks[i-1]
+	b := &mem.blocks[lo-1]
 	if addr < b.base+mir.Word(len(b.data)) {
-		return i - 1
+		mem.lastIdx = lo - 1
+		return lo - 1
 	}
 	return -1
 }
@@ -79,7 +104,7 @@ func (mem *memory) load(addr mir.Word) (mir.Word, bool) {
 	if addr <= LowerBound {
 		return 0, false
 	}
-	if addr >= GlobalBase && addr < GlobalBase+mir.Word(len(mem.globals)) {
+	if addr >= GlobalBase && addr < mem.globalEnd {
 		return mem.globals[addr-GlobalBase], true
 	}
 	if i := mem.findBlock(addr); i >= 0 && !mem.blocks[i].freed {
@@ -94,7 +119,7 @@ func (mem *memory) store(addr, v mir.Word) bool {
 	if addr <= LowerBound {
 		return false
 	}
-	if addr >= GlobalBase && addr < GlobalBase+mir.Word(len(mem.globals)) {
+	if addr >= GlobalBase && addr < mem.globalEnd {
 		mem.globals[addr-GlobalBase] = v
 		return true
 	}
@@ -113,9 +138,11 @@ func globalAddr(gi int) mir.Word { return GlobalBase + mir.Word(gi) }
 // (Figure 4 ablation) uses it.
 func (mem *memory) snapshot() *memory {
 	cp := &memory{
-		globals: append([]mir.Word(nil), mem.globals...),
-		blocks:  make([]heapBlock, len(mem.blocks)),
-		nextAdr: mem.nextAdr,
+		globals:   append([]mir.Word(nil), mem.globals...),
+		blocks:    make([]heapBlock, len(mem.blocks)),
+		nextAdr:   mem.nextAdr,
+		lastIdx:   -1,
+		globalEnd: mem.globalEnd,
 	}
 	for i, b := range mem.blocks {
 		cp.blocks[i] = heapBlock{

@@ -2,9 +2,24 @@ package interp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"conair/internal/mir"
 )
+
+// Process-wide cumulative counters, maintained by every finished run.
+// They cost one atomic add per run (not per step) and feed the
+// throughput numbers (runs/sec, steps/sec) in conair-bench -json.
+var (
+	totalRuns  atomic.Int64
+	totalSteps atomic.Int64
+)
+
+// Totals reports how many interpreter runs have finished in this process
+// and how many instructions they executed in aggregate.
+func Totals() (runs, steps int64) {
+	return totalRuns.Load(), totalSteps.Load()
+}
 
 // Failure describes why a run failed.
 type Failure struct {

@@ -78,7 +78,7 @@ func (vm *VM) PerturbThread(tid int, delay int64) bool {
 	// Only a runnable thread can be put to sleep directly; a blocked
 	// thread is already delayed by whatever blocks it.
 	if t.status == statusRunnable {
-		t.status = statusSleeping
+		vm.setStatus(t, statusSleeping)
 		t.wakeAt = vm.step + delay
 		return true
 	}
@@ -136,6 +136,7 @@ func (vm *VM) RestoreSnapshot(s *Snapshot) {
 	vm.done = s.done
 	vm.exit = s.exit
 	vm.failure = nil
+	vm.rebuildLive()
 	if len(vm.output) > s.nOut {
 		vm.output = vm.output[:s.nOut]
 	}

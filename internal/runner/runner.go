@@ -1,0 +1,151 @@
+// Package runner is the parallel batch-execution engine for seeded
+// interpreter runs. The ConAir evaluation is embarrassingly parallel —
+// every (module, seed) pair is an independent, deterministic run — so the
+// engine fans jobs across a worker pool sized to GOMAXPROCS while keeping
+// results in deterministic job order: Map's result slice is indexed by job,
+// never by completion time, so a parallel sweep is bit-for-bit identical
+// to the sequential one.
+//
+// Modules are shared read-only across workers (the interpreter never
+// mutates its module), and each job constructs its own scheduler, so runs
+// never share mutable state.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// Engine executes batches of independent jobs on a fixed worker pool.
+// The zero value is ready to use and runs on GOMAXPROCS workers.
+type Engine struct {
+	// Workers is the pool size; 0 or negative selects GOMAXPROCS.
+	Workers int
+}
+
+// workers resolves the pool size.
+func (e Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) across the pool and returns the results in job
+// order. fn must be safe for concurrent invocation on distinct indices.
+func Map[T any](e Engine, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	e.each(n, func(i int) bool {
+		out[i] = fn(i)
+		return true
+	})
+	return out
+}
+
+// Each runs fn(0..n-1) across the pool for side effects (fn typically
+// writes into disjoint elements of a caller-owned slice).
+func (e Engine) Each(n int, fn func(i int)) {
+	e.each(n, func(i int) bool {
+		fn(i)
+		return true
+	})
+}
+
+// All runs pred(0..n-1) across the pool and reports whether every call
+// returned true. A false result cancels jobs that have not started yet —
+// the boolean is deterministic either way, so the early exit never changes
+// an observable outcome, only the work done to reach it.
+func (e Engine) All(n int, pred func(i int) bool) bool {
+	ok := e.each(n, pred)
+	return ok
+}
+
+// each is the pool core: an atomic job cursor drained by w workers.
+// Returning false from fn stops the dispatch of new jobs; each reports
+// whether every executed fn returned true.
+func (e Engine) each(n int, fn func(i int) bool) bool {
+	if n <= 0 {
+		return true
+	}
+	w := e.workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Sequential fast path: no goroutines, same semantics.
+		for i := 0; i < n; i++ {
+			if !fn(i) {
+				return false
+			}
+		}
+		return true
+	}
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !fn(i) {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !failed.Load()
+}
+
+// Job is one seeded interpreter run.
+type Job struct {
+	Mod *mir.Module
+	// Cfg builds the run's Config; it must return a fresh scheduler per
+	// call (schedulers are stateful and must never be shared across runs).
+	Cfg func() interp.Config
+}
+
+// Run executes the jobs and returns results in job order.
+func (e Engine) Run(jobs []Job) []*interp.Result {
+	return Map(e, len(jobs), func(i int) *interp.Result {
+		return interp.RunModule(jobs[i].Mod, jobs[i].Cfg())
+	})
+}
+
+// SeedConfig is the standard experiment configuration for one seed.
+func SeedConfig(seed, maxSteps int64) interp.Config {
+	return interp.Config{Sched: sched.NewRandom(seed), MaxSteps: maxSteps}
+}
+
+// RunSeeds executes mod once per seed and returns results in seed order.
+func (e Engine) RunSeeds(mod *mir.Module, seeds []int64, maxSteps int64) []*interp.Result {
+	return Map(e, len(seeds), func(i int) *interp.Result {
+		return interp.RunModule(mod, SeedConfig(seeds[i], maxSteps))
+	})
+}
+
+// AllComplete runs mod under seeds 0..runs-1 and reports whether every run
+// completed. A failing seed cancels not-yet-started runs; the verdict is
+// identical to the sequential sweep's.
+func (e Engine) AllComplete(mod *mir.Module, runs int, maxSteps int64) bool {
+	return e.All(runs, func(i int) bool {
+		return interp.RunModule(mod, SeedConfig(int64(i), maxSteps)).Completed
+	})
+}
+
+// Seq returns an engine pinned to one worker — the reference sequential
+// path the determinism tests compare against.
+func Seq() Engine { return Engine{Workers: 1} }

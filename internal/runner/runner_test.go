@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"conair/internal/bugs"
+	"conair/internal/interp"
+)
+
+func TestMapOrderingDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		got := Map(Engine{Workers: workers}, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(Engine{}, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("len = %d, want 0", len(got))
+	}
+}
+
+func TestAllReportsFailureAndCancels(t *testing.T) {
+	e := Engine{Workers: 4}
+	if !e.All(50, func(i int) bool { return true }) {
+		t.Fatal("all-true batch reported failure")
+	}
+	var executed atomic.Int64
+	ok := e.All(10_000, func(i int) bool {
+		executed.Add(1)
+		return i != 3
+	})
+	if ok {
+		t.Fatal("batch with failing job reported success")
+	}
+	if n := executed.Load(); n == 10_000 {
+		t.Error("failure did not cancel pending jobs")
+	}
+}
+
+func TestEachCoversEveryIndex(t *testing.T) {
+	hit := make([]atomic.Bool, 257)
+	Engine{Workers: 8}.Each(len(hit), func(i int) { hit[i].Store(true) })
+	for i := range hit {
+		if !hit[i].Load() {
+			t.Fatalf("index %d never executed", i)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialRuns is the engine-level determinism check:
+// the same (module, seed) jobs through a parallel pool and through the
+// sequential reference path must produce identical results.
+func TestParallelMatchesSequentialRuns(t *testing.T) {
+	b := bugs.ByName("ZSNES")
+	mod := b.Program(bugs.Config{Light: true, ForceBug: true})
+	seeds := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+
+	seq := Seq().RunSeeds(mod, seeds, 0)
+	par := Engine{Workers: 4}.RunSeeds(mod, seeds, 0)
+
+	for i := range seeds {
+		if !reflect.DeepEqual(normalize(seq[i]), normalize(par[i])) {
+			t.Errorf("seed %d: parallel result differs from sequential", seeds[i])
+		}
+	}
+}
+
+// normalize strips map-typed stats (per-checkpoint counters compare fine
+// with DeepEqual, but nil-vs-empty is an encoding detail, not a result).
+func normalize(r *interp.Result) *interp.Result {
+	cp := *r
+	if len(cp.Stats.CheckpointExecs) == 0 {
+		cp.Stats.CheckpointExecs = nil
+	}
+	return &cp
+}
+
+func TestAllCompleteMatchesSequentialVerdict(t *testing.T) {
+	b := bugs.ByName("HawkNL")
+	forced := b.Program(bugs.Config{Light: true, ForceBug: true})
+	want := Seq().AllComplete(forced, 16, 0)
+	got := Engine{Workers: 4}.AllComplete(forced, 16, 0)
+	if got != want {
+		t.Errorf("parallel verdict %v, sequential %v", got, want)
+	}
+}
