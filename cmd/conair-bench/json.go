@@ -26,6 +26,11 @@ type benchDoc struct {
 	Machine  benchMachine   `json:"machine"`
 	Sections map[string]any `json:"sections"`
 	Perf     benchPerf      `json:"perf"`
+	// Metrics is the flattened registry snapshot (counters, gauges,
+	// histogram aggregates), present when -metrics is set. Unlike the
+	// section data it is NOT deterministic: it includes nanosecond
+	// latency histograms and per-worker counters.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 type benchConfig struct {
@@ -82,35 +87,38 @@ func runJSON(w io.Writer, sel selection) bool {
 	runs0, steps0 := interp.Totals()
 	start := time.Now()
 
+	section := func(name string, fn func() any) {
+		track(name, func() { doc.Sections[name] = fn() })
+	}
 	if sel.want(2) {
-		doc.Sections["table2"] = experiments.Table2()
+		section("table2", func() any { return experiments.Table2() })
 	}
 	if sel.want(3) {
-		doc.Sections["table3"] = experiments.Table3(sel.runs, sel.seeds)
+		section("table3", func() any { return experiments.Table3(sel.runs, sel.seeds) })
 	}
 	if sel.want(4) && sel.figure != 4 {
-		doc.Sections["table4"] = experiments.Table4()
+		section("table4", func() any { return experiments.Table4() })
 	}
 	if sel.want(5) {
-		doc.Sections["table5"] = experiments.Table5()
+		section("table5", func() any { return experiments.Table5() })
 	}
 	if sel.want(6) {
-		doc.Sections["table6"] = experiments.Table6()
+		section("table6", func() any { return experiments.Table6() })
 	}
 	if sel.want(7) {
-		doc.Sections["table7"] = experiments.Table7()
+		section("table7", func() any { return experiments.Table7() })
 	}
 	if sel.wantFigure(2) {
-		doc.Sections["figure2"] = experiments.Figure2()
+		section("figure2", func() any { return experiments.Figure2() })
 	}
 	if sel.wantFigure(4) {
-		doc.Sections["figure4"] = experiments.Figure4()
+		section("figure4", func() any { return experiments.Figure4() })
 	}
 	if sel.all || sel.analysisTime {
-		doc.Sections["analysisTimes"] = experiments.AnalysisTimes()
+		section("analysisTimes", func() any { return experiments.AnalysisTimes() })
 	}
 	if sel.all || sel.ablation {
-		doc.Sections["ablation"] = experiments.Ablations(min(sel.runs, 10))
+		section("ablation", func() any { return experiments.Ablations(min(sel.runs, 10)) })
 	}
 
 	elapsed := time.Since(start).Seconds()
@@ -123,6 +131,9 @@ func runJSON(w io.Writer, sel selection) bool {
 	if elapsed > 0 {
 		doc.Perf.RunsPerSec = float64(doc.Perf.Runs) / elapsed
 		doc.Perf.StepsPerSec = float64(doc.Perf.Steps) / elapsed
+	}
+	if sel.metrics {
+		doc.Metrics = experiments.Registry().Snapshot()
 	}
 
 	enc := json.NewEncoder(w)

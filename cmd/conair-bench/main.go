@@ -53,6 +53,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON document with table data and throughput (runs/sec, steps/sec)")
+	progress := flag.Bool("progress", true, "print per-section progress (runs, runs/sec) to stderr")
+	metrics := flag.Bool("metrics", false, "dump the full metrics registry to stderr after the run (and into -json output)")
 	flag.Parse()
 
 	if *quick {
@@ -67,6 +69,7 @@ func main() {
 		}
 	}
 	experiments.SetWorkers(*workers)
+	progressOn = *progress
 	if *csvOut {
 		emit = func(t *report.Table) { fmt.Print(t.CSV()) }
 	}
@@ -81,10 +84,14 @@ func main() {
 		seeds:        *overheadSeeds,
 		workers:      *workers,
 		quick:        *quick,
+		metrics:      *metrics,
 	}
 	if *jsonOut {
 		if !runJSON(os.Stdout, sel) {
 			usageExit()
+		}
+		if *metrics {
+			dumpMetrics()
 		}
 		return
 	}
@@ -97,47 +104,50 @@ func main() {
 		ran = true
 	}
 	if want(2) {
-		printTable2()
+		track("table2", printTable2)
 		ran = true
 	}
 	if want(3) {
-		printTable3(*runs, *overheadSeeds)
+		track("table3", func() { printTable3(*runs, *overheadSeeds) })
 		ran = true
 	}
 	if want(4) && *figure != 4 {
-		printTable4()
+		track("table4", printTable4)
 		ran = true
 	}
 	if want(5) {
-		printTable5()
+		track("table5", printTable5)
 		ran = true
 	}
 	if want(6) {
-		printTable6()
+		track("table6", printTable6)
 		ran = true
 	}
 	if want(7) {
-		printTable7()
+		track("table7", printTable7)
 		ran = true
 	}
 	if sel.wantFigure(2) {
-		printFigure2()
+		track("figure2", printFigure2)
 		ran = true
 	}
 	if sel.wantFigure(4) {
-		printFigure4()
+		track("figure4", printFigure4)
 		ran = true
 	}
 	if *all || *analysisTime {
-		printAnalysisTimes()
+		track("analysis-times", printAnalysisTimes)
 		ran = true
 	}
 	if *all || *ablation {
-		printAblations(min(*runs, 10))
+		track("ablation", func() { printAblations(min(*runs, 10)) })
 		ran = true
 	}
 	if !ran {
 		usageExit()
+	}
+	if *metrics {
+		dumpMetrics()
 	}
 }
 
@@ -149,6 +159,7 @@ type selection struct {
 	runs, seeds            int
 	workers                int
 	quick                  bool
+	metrics                bool
 }
 
 func (s selection) want(t int) bool       { return s.all || s.table == t }

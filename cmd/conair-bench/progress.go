@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"conair/internal/experiments"
+)
+
+// progressOn gates the per-section progress lines on stderr (the -progress
+// flag; on by default, and harmless to pipe since tables go to stdout).
+var progressOn = true
+
+// track runs one section body and prints a progress line to stderr,
+// driven by the experiment metrics registry: interpreter runs and steps
+// completed during the section, plus throughput over its wall time.
+func track(name string, fn func()) {
+	if !progressOn {
+		fn()
+		return
+	}
+	reg := experiments.Registry()
+	runs0 := reg.Counter("interp_runs_total").Value()
+	steps0 := reg.Counter("interp_steps_total").Value()
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start).Seconds()
+	runs := reg.Counter("interp_runs_total").Value() - runs0
+	steps := reg.Counter("interp_steps_total").Value() - steps0
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	fmt.Fprintf(os.Stderr, "conair-bench: %s: %d runs, %s steps in %.2fs (%.0f runs/sec, %s steps/sec)\n",
+		name, runs, siCount(steps), elapsed,
+		float64(runs)/elapsed, siCount(int64(float64(steps)/elapsed)))
+}
+
+// siCount renders a count with an SI suffix for readability (steps run to
+// the billions even in quick mode).
+func siCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// dumpMetrics writes the full registry exposition to stderr (-metrics).
+func dumpMetrics() {
+	fmt.Fprintln(os.Stderr, "# conair-bench metrics exposition")
+	if err := experiments.Registry().WriteText(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "conair-bench: writing metrics:", err)
+	}
+}

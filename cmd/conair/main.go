@@ -10,6 +10,14 @@
 // In fix mode, -site names the failing statement as function:opcode:index,
 // e.g. -site "reporter:assert:0" for the first assert in reporter, or
 // "worker:load:2" for its third pointer dereference.
+//
+// Trace mode replays one benchmark (bug, seed) pair deterministically with
+// the observability sink attached, writes a Chrome trace_event JSON file
+// (loadable in chrome://tracing or https://ui.perfetto.dev), and prints the
+// recovery-episode timeline:
+//
+//	conair -trace out.json -bug MySQL1 [-seed 7] [-mode survival|fix]
+//	       [-clean] [-trace-jsonl events.jsonl] [-trace-buf N]
 package main
 
 import (
@@ -36,7 +44,30 @@ func main() {
 	guardOutputs := flag.Bool("guard-outputs", false, "auto-insert output-correctness oracles (paper §3.4)")
 	pruneSafe := flag.Bool("prune-safe-sites", false, "drop provably-safe dereference sites (paper §3.4)")
 	quiet := flag.Bool("q", false, "suppress the report")
+	trace := flag.String("trace", "", "trace mode: write a Chrome trace_event JSON file and exit")
+	bug := flag.String("bug", "", "trace mode: benchmark bug to replay (e.g. MySQL1)")
+	seed := flag.Int64("seed", 7, "trace mode: scheduler seed")
+	clean := flag.Bool("clean", false, "trace mode: replay the clean full workload instead of the forced-failure light one")
+	traceJSONL := flag.String("trace-jsonl", "", "trace mode: also write raw events as JSONL")
+	traceBuf := flag.Int("trace-buf", 1<<20, "trace mode: event ring-buffer capacity")
+	traceMaxSteps := flag.Int64("trace-max-steps", 200_000_000, "trace mode: interpreter step budget")
 	flag.Parse()
+
+	if *trace != "" || *bug != "" {
+		if *trace == "" || *bug == "" {
+			fatal(fmt.Errorf("trace mode needs both -trace out.json and -bug NAME"))
+		}
+		// The hardening default is survival; fix mode replays the
+		// bug-specific hardened variant the evaluation tables use.
+		if err := runTrace(traceOpts{
+			bug: *bug, seed: *seed, mode: *mode, clean: *clean,
+			out: *trace, jsonl: *traceJSONL, bufCap: *traceBuf,
+			maxSteps: *traceMaxSteps, quiet: *quiet,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: conair [flags] prog.mir")

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"conair/internal/bugs"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/obs"
+	"conair/internal/sched"
+)
+
+// traceOpts configures a -trace replay.
+type traceOpts struct {
+	bug      string // benchmark bug name (bugs.ByName)
+	seed     int64  // scheduler seed
+	mode     string // survival or fix hardening
+	clean    bool   // replay the clean full workload instead of forced-light
+	out      string // Chrome trace_event JSON path
+	jsonl    string // optional raw JSONL event path
+	bufCap   int    // tracer ring capacity
+	maxSteps int64
+	quiet    bool
+}
+
+// runTrace replays one (bug, seed) pair with the trace sink attached,
+// writes the Chrome trace (and optionally the raw JSONL events), and
+// prints the reconstructed recovery-episode timeline. The replay is
+// deterministic: the same bug, mode and seed always produce the same
+// trace, byte for byte.
+func runTrace(o traceOpts) error {
+	b := bugs.ByName(o.bug)
+	if b == nil {
+		names := ""
+		for _, x := range bugs.All() {
+			names += " " + x.Name
+		}
+		return fmt.Errorf("unknown bug %q (have:%s)", o.bug, names)
+	}
+
+	bcfg := bugs.Config{Light: true, ForceBug: true}
+	if o.clean {
+		bcfg = bugs.Config{}
+	}
+	prog := b.Program(bcfg)
+
+	opts := core.DefaultOptions()
+	switch o.mode {
+	case "survival":
+	case "fix":
+		pos, err := b.FixSite(prog)
+		if err != nil {
+			return err
+		}
+		opts = core.FixOptions(pos)
+	default:
+		return fmt.Errorf("unknown mode %q (want survival or fix)", o.mode)
+	}
+	h, err := core.Harden(prog, opts)
+	if err != nil {
+		return err
+	}
+
+	tr := obs.NewTracer(o.bufCap)
+	cfg := interp.Config{
+		Sched:    sched.NewRandom(o.seed),
+		MaxSteps: o.maxSteps,
+		Sink:     tr,
+	}
+	r := interp.RunModule(h.Module, cfg)
+
+	f, err := os.Create(o.out)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tr.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if o.jsonl != "" {
+		f, err := os.Create(o.jsonl)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(f, tr.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if o.quiet {
+		return nil
+	}
+	fmt.Printf("replayed %s (%s mode, seed %d): %d steps, completed=%v\n",
+		b.Name, o.mode, o.seed, r.Stats.Steps, r.Completed)
+	if r.Failure != nil {
+		fmt.Printf("failure: %s at step %d\n", r.Failure, r.Failure.Step)
+	}
+	fmt.Printf("trace: %d events recorded, %d in ring, %d dropped -> %s\n",
+		tr.Recorded(), len(tr.Events()), tr.Dropped(), o.out)
+	fmt.Printf("stats: %d checkpoints, %d rollbacks, %d episodes\n",
+		r.Stats.Checkpoints, r.Stats.Rollbacks, len(r.Stats.Episodes))
+	fmt.Println()
+	obs.Summarize(tr.Events()).WriteTimeline(os.Stdout)
+	return nil
+}

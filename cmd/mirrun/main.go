@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	mirrun [-seed N] [-sched random|rr] [-quantum N] [-max-steps N] prog.mir
+//	mirrun [-seed N] [-sched random|rr] [-quantum N] [-max-steps N]
+//	       [-stats] [-trace] [-trace-json out.json] prog.mir
 //
 // The exit status is the program's exit code on completion, or 1 on a
 // detected failure (which is printed to stderr).
@@ -16,6 +17,7 @@ import (
 
 	"conair/internal/interp"
 	"conair/internal/mir"
+	"conair/internal/obs"
 	"conair/internal/sched"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 0, "step limit (0 = default)")
 	stats := flag.Bool("stats", false, "print run statistics")
 	trace := flag.Bool("trace", false, "trace every executed instruction to stderr (slow)")
+	traceJSON := flag.String("trace-json", "", "write a Chrome trace_event JSON file of the run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -59,7 +62,27 @@ func main() {
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
+	var sink *obs.Tracer
+	if *traceJSON != "" {
+		sink = obs.NewTracer(obs.DefaultTracerCap)
+		cfg.Sink = sink
+	}
 	r := interp.RunModule(m, cfg)
+	if sink != nil {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, sink.Events()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if d := sink.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "mirrun: trace ring dropped %d early events\n", d)
+		}
+	}
 	for _, o := range r.Output {
 		fmt.Printf("%s: %d\n", o.Text, o.Value)
 	}

@@ -54,18 +54,25 @@ func fingerprintOf(r *interp.Result) fingerprint {
 	}
 	for _, e := range r.Stats.Episodes {
 		fp.EpisodeRetries += e.Retries
-		fp.EpisodeSteps += e.Duration()
+		if e.Recovered {
+			// Unrecovered episodes have Duration() == -1; they contributed
+			// 0 to the historical sum, so skip them to keep the golden
+			// fingerprints byte-stable.
+			fp.EpisodeSteps += e.Duration()
+		}
 	}
 	return fp
 }
 
 // goldenSweep runs every bug in every evaluated configuration under fixed
-// seeds and returns the fingerprints keyed "app/variant/seed=N".
+// seeds and returns the fingerprints keyed "app/variant/seed=N". cfg
+// builds the per-seed interpreter config; the default sweep uses runCfg,
+// and the tracing guard test swaps in a Sink-carrying variant.
 //
 // Forced (light) variants exercise recovery — rollback, compensation,
 // episodes; clean full-workload variants exercise the memory and
 // scheduler hot paths at volume.
-func goldenSweep() map[string]fingerprint {
+func goldenSweep(cfg func(seed int64) interp.Config) map[string]fingerprint {
 	out := map[string]fingerprint{}
 	for _, b := range bugs.All() {
 		forced := b.Program(bugs.Config{Light: true, ForceBug: true})
@@ -92,7 +99,7 @@ func goldenSweep() map[string]fingerprint {
 		for _, v := range variants {
 			for _, seed := range v.seeds {
 				key := fmt.Sprintf("%s/%s/seed=%d", b.Name, v.name, seed)
-				out[key] = fingerprintOf(interp.RunModule(v.m, runCfg(seed)))
+				out[key] = fingerprintOf(interp.RunModule(v.m, cfg(seed)))
 			}
 		}
 	}
@@ -108,7 +115,7 @@ const goldenPath = "testdata/determinism.json"
 //
 //	CONAIR_REGEN=1 go test ./internal/experiments -run Golden
 func TestInterpreterResultsMatchGolden(t *testing.T) {
-	got := goldenSweep()
+	got := goldenSweep(runCfg)
 
 	if os.Getenv("CONAIR_REGEN") != "" {
 		data, err := json.MarshalIndent(got, "", "  ")

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"conair/internal/interp"
+	"conair/internal/obs"
+)
+
+// reg is the process-wide metrics registry every experiment sweep reports
+// into: the engine contributes batch/job/queue-depth/worker-utilization
+// metrics, the interpreter per-run aggregates (runs, steps, rollbacks per
+// site, episode histograms). conair-bench's per-section progress lines
+// and its -metrics exposition read from here.
+var reg = obs.NewRegistry()
+
+func init() {
+	eng.Reg = reg
+	interp.SetMetricsRegistry(reg)
+}
+
+// Registry exposes the experiment metrics registry.
+func Registry() *obs.Registry { return reg }

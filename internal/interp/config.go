@@ -20,6 +20,7 @@ import (
 	"io"
 
 	"conair/internal/mir"
+	"conair/internal/obs"
 	"conair/internal/sched"
 )
 
@@ -59,6 +60,13 @@ type Config struct {
 	// "step=N tid=T pos=F:B:I op". It slows execution by an order of
 	// magnitude; use for debugging.
 	Trace io.Writer
+	// Sink, when non-nil, receives structured trace events (scheduling
+	// decisions, checkpoints, rollbacks, recovery episodes, lock and
+	// thread lifecycle events, failures, outputs). Recording is passive:
+	// a traced run is bit-identical to an untraced one. When nil — the
+	// default — the dispatch loop pays only a pointer check per event
+	// site and allocates nothing.
+	Sink *obs.Tracer
 }
 
 // Defaults for Config zero values.

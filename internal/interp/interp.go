@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"conair/internal/mir"
+	"conair/internal/obs"
 	"conair/internal/sched"
 )
 
@@ -28,6 +29,10 @@ type VM struct {
 	counted bool
 
 	runnableBuf []int
+
+	// sink mirrors cfg.Sink; every emit site guards on one nil check so
+	// the disabled path costs a pointer compare and zero allocations.
+	sink *obs.Tracer
 
 	// live lists the ids of non-done threads in ascending id order, and
 	// waiting counts how many of them are not statusRunnable. Together they
@@ -62,6 +67,7 @@ func New(mod *mir.Module, cfg Config) *VM {
 		mem:   newMemory(mod),
 		lcks:  newLocks(),
 		pools: make([][][2][]mir.Word, len(mod.Functions)),
+		sink:  cfg.Sink,
 	}
 	vm.mainTID = vm.spawn(mi, nil)
 	return vm
@@ -87,6 +93,19 @@ func (vm *VM) setStatus(t *thread, s threadStatus) {
 	switch {
 	case waits(s):
 		vm.waiting++
+		if vm.sink != nil {
+			reason := obs.BlockSleep
+			switch s {
+			case statusBlockedLock:
+				reason = obs.BlockLock
+			case statusBlockedJoin:
+				reason = obs.BlockJoin
+			}
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindThreadBlock,
+				TID: int32(t.id), Arg: reason,
+			})
+		}
 	case s == statusDone:
 		vm.removeLive(t.id)
 	}
@@ -165,6 +184,11 @@ func (vm *VM) Run() *Result {
 		if !ok {
 			break // deadlock already reported, or everything exited
 		}
+		if vm.sink != nil {
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindSchedPick, TID: int32(tid),
+			})
+		}
 		vm.exec(vm.threads[tid])
 		vm.step++
 	}
@@ -185,13 +209,6 @@ func (vm *VM) result() *Result {
 		Stats:     vm.stats,
 	}
 	r.Stats.Steps = vm.step
-	if !vm.counted {
-		// Count each run once even if result() is built repeatedly
-		// (Finish may be called more than once on a StepOnce-driven VM).
-		vm.counted = true
-		totalRuns.Add(1)
-		totalSteps.Add(vm.step)
-	}
 	// Surface episodes still open at program end as unrecovered.
 	for _, t := range vm.threads {
 		for _, e := range t.episodes {
@@ -201,6 +218,16 @@ func (vm *VM) result() *Result {
 	sort.Slice(r.Stats.Episodes, func(i, j int) bool {
 		return r.Stats.Episodes[i].Start < r.Stats.Episodes[j].Start
 	})
+	if !vm.counted {
+		// Count each run once even if result() is built repeatedly
+		// (Finish may be called more than once on a StepOnce-driven VM).
+		vm.counted = true
+		totalRuns.Add(1)
+		totalSteps.Add(vm.step)
+		if reg := metricsRegistry.Load(); reg != nil {
+			recordRunMetrics(reg, r)
+		}
+	}
 	return r
 }
 
@@ -215,6 +242,11 @@ func (vm *VM) spawn(fi int, args []mir.Word) int {
 	vm.live = append(vm.live, t.id) // ids ascend, so append keeps order
 	vm.liveT = append(vm.liveT, t)
 	vm.stats.ThreadsSpawned++
+	if vm.sink != nil {
+		vm.sink.Record(obs.Event{
+			Step: vm.step, Kind: obs.KindThreadSpawn, TID: int32(t.id),
+		})
+	}
 	return t.id
 }
 
@@ -314,6 +346,12 @@ func (vm *VM) fail(kind mir.FailKind, pos mir.Pos, site, tid int, msg string) {
 	vm.failure = &Failure{
 		Kind: kind, Pos: pos, Site: site, Thread: tid, Step: vm.step, Msg: msg,
 	}
+	if vm.sink != nil {
+		vm.sink.Record(obs.Event{
+			Step: vm.step, Kind: obs.KindFailure,
+			TID: int32(tid), Site: int32(site), Text: msg,
+		})
+	}
 }
 
 // eval resolves an operand against the current frame.
@@ -401,6 +439,12 @@ func (vm *VM) exec(t *thread) {
 			if t.jmp != nil {
 				t.pushComp(compLock, addr)
 			}
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindLockAcquire,
+					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
+				})
+			}
 		case mu.holder == t.id && t.status != statusBlockedLock:
 			vm.fail(mir.FailHang, posOf(fr), in.Site, t.id,
 				fmt.Sprintf("self-deadlock on lock %d", addr))
@@ -436,9 +480,21 @@ func (vm *VM) exec(t *thread) {
 			if t.jmp != nil {
 				t.pushComp(compLock, addr)
 			}
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindLockAcquire,
+					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
+				})
+			}
 			if in.Site > 0 {
 				if e := t.endEpisode(in.Site, vm.step); e != nil {
 					vm.stats.Episodes = append(vm.stats.Episodes, *e)
+					if vm.sink != nil {
+						vm.sink.Record(obs.Event{
+							Step: vm.step, Kind: obs.KindEpisodeEnd,
+							TID: int32(t.id), Site: int32(in.Site), Arg: e.Retries,
+						})
+					}
 				}
 			}
 		case selfHeld || expired:
@@ -446,6 +502,12 @@ func (vm *VM) exec(t *thread) {
 			// immediate timeout. An expired wait reports timeout too.
 			vm.setStatus(t, statusRunnable)
 			fr.regs[in.Dst] = 0
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindLockTimeout,
+					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
+				})
+			}
 		default:
 			if !waiting {
 				vm.setStatus(t, statusBlockedLock)
@@ -502,6 +564,12 @@ func (vm *VM) exec(t *thread) {
 				Text: in.Text, Value: eval(fr, in.A), Thread: t.id, Step: vm.step,
 			})
 		}
+		if vm.sink != nil {
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindOutput,
+				TID: int32(t.id), Arg: int64(eval(fr, in.A)), Text: in.Text,
+			})
+		}
 
 	case mir.OpAssert:
 		if eval(fr, in.A) == 0 {
@@ -553,13 +621,31 @@ func (vm *VM) exec(t *thread) {
 			vm.stats.CheckpointExecs = map[int]int64{}
 		}
 		vm.stats.CheckpointExecs[in.Site]++
+		if vm.sink != nil {
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindCheckpoint,
+				TID: int32(t.id), Site: int32(in.Site),
+			})
+		}
 
 	case mir.OpRollback:
 		site := in.Site
 		if t.jmp != nil && t.jmp.frameDepth < len(t.frames) &&
 			t.retryCount(site) < in.MaxRetry {
 			t.bumpRetry(site)
-			t.beginEpisode(site, vm.step)
+			e := t.beginEpisode(site, vm.step)
+			if vm.sink != nil {
+				if e.Retries == 1 {
+					vm.sink.Record(obs.Event{
+						Step: vm.step, Kind: obs.KindEpisodeBegin,
+						TID: int32(t.id), Site: int32(site),
+					})
+				}
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindRollback,
+					TID: int32(t.id), Site: int32(site), Arg: e.Retries,
+				})
+			}
 			vm.rollback(t)
 			vm.stats.Rollbacks++
 			return
@@ -579,6 +665,12 @@ func (vm *VM) exec(t *thread) {
 			// open recovery episode for the site.
 			if e := t.endEpisode(in.Site, vm.step); e != nil {
 				vm.stats.Episodes = append(vm.stats.Episodes, *e)
+				if vm.sink != nil {
+					vm.sink.Record(obs.Event{
+						Step: vm.step, Kind: obs.KindEpisodeEnd,
+						TID: int32(t.id), Site: int32(in.Site), Arg: e.Retries,
+					})
+				}
 			}
 		}
 		if c != 0 {
@@ -604,6 +696,12 @@ func (vm *VM) exec(t *thread) {
 		if len(t.frames) == 0 {
 			vm.setStatus(t, statusDone)
 			t.result = ret
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindThreadExit,
+					TID: int32(t.id), Arg: int64(ret),
+				})
+			}
 			if t.id == vm.mainTID {
 				vm.done = true
 				vm.exit = ret

@@ -1,0 +1,53 @@
+package interp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"conair/internal/obs"
+)
+
+// metricsRegistry, when set, receives per-run aggregates (run/step
+// counters, rollbacks per site, retry and episode-duration histograms)
+// every time a run finishes. The hook fires once per run — never per
+// step — so its cost is a handful of atomic adds per completed run.
+var metricsRegistry atomic.Pointer[obs.Registry]
+
+// SetMetricsRegistry installs (or, with nil, removes) the process-wide
+// metrics registry finished runs report into.
+func SetMetricsRegistry(r *obs.Registry) { metricsRegistry.Store(r) }
+
+// Histogram bucket layouts for run-level metrics. Steps per run span six
+// orders of magnitude across the workloads; episode durations and retry
+// counts are small but heavy-tailed.
+var (
+	stepsBuckets   = obs.ExpBuckets(1_000, 10, 6) // 1e3 .. 1e8
+	episodeBuckets = obs.ExpBuckets(4, 4, 8)      // 4 .. 65536
+	retryBuckets   = obs.ExpBuckets(1, 2, 10)     // 1 .. 512
+)
+
+func recordRunMetrics(reg *obs.Registry, r *Result) {
+	reg.Counter("interp_runs_total").Inc()
+	reg.Counter("interp_steps_total").Add(r.Stats.Steps)
+	reg.Counter("interp_checkpoints_total").Add(r.Stats.Checkpoints)
+	reg.Counter("interp_rollbacks_total").Add(r.Stats.Rollbacks)
+	reg.Counter("interp_comp_frees_total").Add(r.Stats.CompFrees)
+	reg.Counter("interp_comp_unlocks_total").Add(r.Stats.CompUnlocks)
+	if r.Completed {
+		reg.Counter("interp_runs_completed_total").Inc()
+	} else {
+		reg.Counter("interp_runs_failed_total").Inc()
+	}
+	reg.Histogram("interp_steps_per_run", stepsBuckets).Observe(r.Stats.Steps)
+	for i := range r.Stats.Episodes {
+		e := &r.Stats.Episodes[i]
+		reg.Counter(fmt.Sprintf("interp_rollbacks_site_%d_total", e.Site)).Add(e.Retries)
+		reg.Histogram("interp_episode_retries", retryBuckets).Observe(e.Retries)
+		if e.Recovered {
+			reg.Counter("interp_episodes_recovered_total").Inc()
+			reg.Histogram("interp_episode_duration_steps", episodeBuckets).Observe(e.Duration())
+		} else {
+			reg.Counter("interp_episodes_unrecovered_total").Inc()
+		}
+	}
+}

@@ -21,6 +21,14 @@ func Totals() (runs, steps int64) {
 	return totalRuns.Load(), totalSteps.Load()
 }
 
+// ResetTotals zeroes the process-wide run/step counters. Tests and bench
+// sections that assert on Totals deltas call it so counts never leak
+// across test cases or sections.
+func ResetTotals() {
+	totalRuns.Store(0)
+	totalSteps.Store(0)
+}
+
 // Failure describes why a run failed.
 type Failure struct {
 	Kind   mir.FailKind
@@ -57,11 +65,13 @@ type Episode struct {
 	Recovered bool
 }
 
-// Duration returns the episode length in interpreter steps (0 if the
-// episode never completed).
+// Duration returns the episode length in interpreter steps, or -1 when
+// the episode never completed — distinguishing "never recovered" from a
+// genuine zero-length episode (a site that passed at the very step of its
+// first rollback).
 func (e *Episode) Duration() int64 {
 	if !e.Recovered {
-		return 0
+		return -1
 	}
 	return e.End - e.Start
 }

@@ -1,6 +1,9 @@
 package interp
 
-import "conair/internal/mir"
+import (
+	"conair/internal/mir"
+	"conair/internal/obs"
+)
 
 // This file exposes the stepping and whole-state snapshot hooks used by
 // the traditional rollback-recovery baselines (internal/baseline). ConAir
@@ -22,6 +25,11 @@ func (vm *VM) StepOnce() bool {
 	tid, ok := vm.pickThread()
 	if !ok {
 		return false
+	}
+	if vm.sink != nil {
+		vm.sink.Record(obs.Event{
+			Step: vm.step, Kind: obs.KindSchedPick, TID: int32(tid),
+		})
 	}
 	vm.exec(vm.threads[tid])
 	vm.step++

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleEvents is a miniature but representative run trace: two threads,
+// an execution slice each, one closed recovery episode, one failure.
+func sampleEvents() []Event {
+	return []Event{
+		{Step: 0, Kind: KindThreadSpawn, TID: 0},
+		{Step: 0, Kind: KindSchedPick, TID: 0},
+		{Step: 1, Kind: KindSchedPick, TID: 0},
+		{Step: 2, Kind: KindThreadSpawn, TID: 1},
+		{Step: 2, Kind: KindSchedPick, TID: 1},
+		{Step: 3, Kind: KindCheckpoint, TID: 1, Site: 4},
+		{Step: 3, Kind: KindSchedPick, TID: 1},
+		{Step: 4, Kind: KindThreadBlock, TID: 1, Arg: BlockLock},
+		{Step: 4, Kind: KindSchedPick, TID: 0},
+		{Step: 5, Kind: KindEpisodeBegin, TID: 1, Site: 4},
+		{Step: 5, Kind: KindRollback, TID: 1, Site: 4, Arg: 1},
+		{Step: 6, Kind: KindLockAcquire, TID: 1, Arg: 128},
+		{Step: 8, Kind: KindEpisodeEnd, TID: 1, Site: 4, Arg: 1},
+		{Step: 9, Kind: KindOutput, TID: 0, Text: "done", Arg: 1},
+		{Step: 9, Kind: KindFailure, TID: 0, Site: 2, Text: "assert failed"},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	want := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("JSONL round trip drifted:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestChromeTraceRoundTrip is the emit → parse → validate check the CI
+// workflow runs by name: the exported JSON must decode back into an
+// equivalent trace and pass schema validation.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	ct, err := ReadChromeTrace(strings.NewReader(raw))
+	if err != nil {
+		t.Fatalf("round trip failed validation: %v", err)
+	}
+
+	built := BuildChromeTrace(events)
+	if len(ct.TraceEvents) != len(built.TraceEvents) {
+		t.Fatalf("round trip changed event count: %d vs %d",
+			len(ct.TraceEvents), len(built.TraceEvents))
+	}
+	if ct.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+
+	// One metadata entry per thread plus the process name.
+	if got := ct.CountName("thread_name"); got != 2 {
+		t.Errorf("thread_name metadata count = %d, want 2", got)
+	}
+	if got := ct.CountName("process_name"); got != 1 {
+		t.Errorf("process_name metadata count = %d, want 1", got)
+	}
+	// Instants survive with exact counts.
+	for name, want := range map[string]int{
+		"checkpoint": 1, "rollback": 1, "thread-spawn": 2,
+		"thread-block": 1, "lock-acquire": 1, "failure": 1, "output": 1,
+	} {
+		if got := ct.CountName(name); got != want {
+			t.Errorf("%s count = %d, want %d", name, got, want)
+		}
+	}
+	// The closed episode becomes a duration slice with its site in the name.
+	if got := ct.CountName("recovery site 4"); got != 1 {
+		t.Errorf("recovery slice count = %d, want 1", got)
+	}
+	for i := range ct.TraceEvents {
+		e := &ct.TraceEvents[i]
+		if e.Name == "recovery site 4" {
+			if e.Ph != "X" || e.TS != 5 || e.Dur != 3 {
+				t.Errorf("episode slice = %+v, want X ts=5 dur=3", e)
+			}
+		}
+	}
+
+	// Determinism: exporting the same events twice is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, events); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != raw {
+		t.Error("chrome trace export is not deterministic")
+	}
+}
+
+func TestChromeTraceExecSliceMerging(t *testing.T) {
+	// Thread 0 runs steps 0-2, thread 1 steps 3-4, thread 0 again at 5:
+	// three exec slices, never one per pick.
+	events := []Event{
+		{Step: 0, Kind: KindSchedPick, TID: 0},
+		{Step: 1, Kind: KindSchedPick, TID: 0},
+		{Step: 2, Kind: KindSchedPick, TID: 0},
+		{Step: 3, Kind: KindSchedPick, TID: 1},
+		{Step: 4, Kind: KindSchedPick, TID: 1},
+		{Step: 5, Kind: KindSchedPick, TID: 0},
+	}
+	ct := BuildChromeTrace(events)
+	var slices []ChromeEvent
+	for _, e := range ct.TraceEvents {
+		if e.Name == "exec" {
+			slices = append(slices, e)
+		}
+	}
+	want := []struct{ tid, ts, dur int64 }{{0, 0, 3}, {1, 3, 2}, {0, 5, 1}}
+	if len(slices) != len(want) {
+		t.Fatalf("got %d exec slices, want %d: %+v", len(slices), len(want), slices)
+	}
+	for i, w := range want {
+		s := slices[i]
+		if int64(s.TID) != w.tid || s.TS != w.ts || s.Dur != w.dur {
+			t.Errorf("slice %d = tid=%d ts=%d dur=%d, want %+v", i, s.TID, s.TS, s.Dur, w)
+		}
+	}
+}
+
+func TestChromeTraceUnclosedEpisode(t *testing.T) {
+	events := []Event{
+		{Step: 1, Kind: KindEpisodeBegin, TID: 2, Site: 9},
+		{Step: 1, Kind: KindRollback, TID: 2, Site: 9, Arg: 1},
+		{Step: 7, Kind: KindFailure, TID: 2, Site: 9, Text: "stuck"},
+	}
+	ct := BuildChromeTrace(events)
+	found := false
+	for _, e := range ct.TraceEvents {
+		if e.Name == "recovery site 9" {
+			found = true
+			if e.Dur != 6 {
+				t.Errorf("unclosed episode dur = %d, want 6", e.Dur)
+			}
+			if rec, ok := e.Args["recovered"].(bool); !ok || rec {
+				t.Errorf("unclosed episode args = %v, want recovered:false", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Error("unclosed episode produced no slice")
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   ChromeEvent
+	}{
+		{"empty name", ChromeEvent{Ph: "X"}},
+		{"unknown phase", ChromeEvent{Name: "x", Ph: "B"}},
+		{"metadata without args", ChromeEvent{Name: "x", Ph: "M"}},
+		{"negative duration", ChromeEvent{Name: "x", Ph: "X", Dur: -1}},
+		{"bad instant scope", ChromeEvent{Name: "x", Ph: "i", Scope: "z"}},
+	}
+	for _, c := range cases {
+		tr := &ChromeTrace{TraceEvents: []ChromeEvent{c.ev}}
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid event %+v", c.name, c.ev)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value, safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed upper-bound buckets (plus a
+// +Inf overflow bucket) and tracks sum and count, Prometheus-style.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64 // ascending upper bounds
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    int64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []int64 // upper bounds; the implicit last bucket is +Inf
+	Counts []int64 // per-bucket counts, len(Bounds)+1
+	Sum    int64
+	Count  int64
+}
+
+// Snapshot copies the histogram state under the lock.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// ExpBuckets builds n exponentially growing upper bounds starting at
+// start: start, start*factor, ... Convenient for step counts and
+// nanosecond durations, which span many orders of magnitude.
+func ExpBuckets(start int64, factor float64, n int) []int64 {
+	out := make([]int64, 0, n)
+	v := float64(start)
+	for i := 0; i < n; i++ {
+		out = append(out, int64(v))
+		v *= factor
+	}
+	return out
+}
+
+// Registry holds named metrics. Metrics are created on first use and live
+// for the registry's lifetime; all accessors are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if new (bounds are ignored on later calls).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// Snapshot flattens every metric into a name→value map: counters and
+// gauges directly, histograms as name_count, name_sum and
+// name_bucket_le_<bound> entries.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := map[string]int64{}
+	for k, c := range counters {
+		out[k] = c.Value()
+	}
+	for k, g := range gauges {
+		out[k] = g.Value()
+	}
+	for k, h := range hists {
+		s := h.Snapshot()
+		out[k+"_count"] = s.Count
+		out[k+"_sum"] = s.Sum
+		cum := int64(0)
+		for i, b := range s.Bounds {
+			cum += s.Counts[i]
+			out[fmt.Sprintf("%s_bucket_le_%d", k, b)] = cum
+		}
+	}
+	return out
+}
+
+// WriteText renders a deterministic, Prometheus-flavoured text exposition
+// of every metric, sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	var names []string
+	type entry struct {
+		kind string
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	all := map[string]entry{}
+	for k, v := range r.counters {
+		all[k] = entry{kind: "counter", c: v}
+		names = append(names, k)
+	}
+	for k, v := range r.gauges {
+		all[k] = entry{kind: "gauge", g: v}
+		names = append(names, k)
+	}
+	for k, v := range r.hists {
+		all[k] = entry{kind: "histogram", h: v}
+		names = append(names, k)
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	for _, name := range names {
+		e := all[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, e.kind); err != nil {
+			return err
+		}
+		switch e.kind {
+		case "counter":
+			fmt.Fprintf(w, "%s %d\n", name, e.c.Value())
+		case "gauge":
+			fmt.Fprintf(w, "%s %d\n", name, e.g.Value())
+		case "histogram":
+			s := e.h.Snapshot()
+			cum := int64(0)
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+			fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("jobs") != c {
+		t.Error("Counter is not get-or-create")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{1, 10, 100})
+	for _, v := range []int64{0, 1, 5, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1115 {
+		t.Errorf("sum = %d, want 1115", s.Sum)
+	}
+	// Bucket counts are per-bucket (<= bound), last slot is the +Inf overflow.
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []int64{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []int64{10, 100}).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(3)
+	r.Gauge("depth").Set(2)
+	h := r.Histogram("steps", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	snap := r.Snapshot()
+	if snap["runs_total"] != 3 || snap["depth"] != 2 {
+		t.Errorf("snapshot scalars wrong: %v", snap)
+	}
+	if snap["steps_count"] != 3 || snap["steps_sum"] != 5055 {
+		t.Errorf("snapshot histogram aggregate wrong: %v", snap)
+	}
+	// Cumulative buckets.
+	if snap["steps_bucket_le_10"] != 1 || snap["steps_bucket_le_100"] != 2 {
+		t.Errorf("snapshot histogram buckets wrong: %v", snap)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE runs_total counter",
+		"runs_total 3",
+		"# TYPE depth gauge",
+		"depth 2",
+		"# TYPE steps histogram",
+		`steps_bucket{le="10"} 1`,
+		`steps_bucket{le="100"} 2`,
+		`steps_bucket{le="+Inf"} 3`,
+		"steps_sum 5055",
+		"steps_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Deterministic output: two writes must be byte-identical.
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != text {
+		t.Error("WriteText is not deterministic")
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EpisodeSpan is a recovery episode reconstructed from the event stream.
+type EpisodeSpan struct {
+	Site      int32
+	TID       int32
+	Start     int64
+	End       int64 // -1 when the episode never closed
+	Retries   int64
+	Recovered bool
+}
+
+// Duration returns the span length in steps, or -1 if it never closed.
+func (s *EpisodeSpan) Duration() int64 {
+	if !s.Recovered {
+		return -1
+	}
+	return s.End - s.Start
+}
+
+// Summary condenses one run's event stream for human-readable reporting.
+type Summary struct {
+	// Counts is the per-kind event tally of the summarized window.
+	Counts [numKinds]int64
+	// Episodes holds reconstructed recovery episodes in start order.
+	Episodes []EpisodeSpan
+	// FirstStep and LastStep bound the summarized window.
+	FirstStep, LastStep int64
+	// Failures lists failure events (usually zero or one).
+	Failures []Event
+}
+
+// Count returns the tally for kind k.
+func (s *Summary) Count(k Kind) int64 {
+	if int(k) < numKinds {
+		return s.Counts[k]
+	}
+	return 0
+}
+
+// Summarize reconstructs episodes and tallies from a chronological event
+// stream (as returned by Tracer.Events).
+func Summarize(events []Event) *Summary {
+	s := &Summary{}
+	if len(events) > 0 {
+		s.FirstStep = events[0].Step
+		s.LastStep = events[len(events)-1].Step
+	}
+	type key struct {
+		tid  int32
+		site int32
+	}
+	open := map[key]*EpisodeSpan{}
+	for i := range events {
+		e := &events[i]
+		if int(e.Kind) < numKinds {
+			s.Counts[e.Kind]++
+		}
+		switch e.Kind {
+		case KindEpisodeBegin:
+			open[key{e.TID, e.Site}] = &EpisodeSpan{
+				Site: e.Site, TID: e.TID, Start: e.Step, End: -1,
+			}
+		case KindRollback:
+			if sp := open[key{e.TID, e.Site}]; sp != nil {
+				sp.Retries++
+			}
+		case KindEpisodeEnd:
+			k := key{e.TID, e.Site}
+			sp := open[k]
+			if sp == nil {
+				sp = &EpisodeSpan{Site: e.Site, TID: e.TID, Start: e.Step}
+			}
+			delete(open, k)
+			sp.End = e.Step
+			sp.Recovered = true
+			sp.Retries = e.Arg // the end event carries the exact total
+			s.Episodes = append(s.Episodes, *sp)
+		case KindFailure:
+			s.Failures = append(s.Failures, *e)
+		}
+	}
+	for _, sp := range open {
+		s.Episodes = append(s.Episodes, *sp)
+	}
+	sort.Slice(s.Episodes, func(i, j int) bool {
+		a, b := &s.Episodes[i], &s.Episodes[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Site < b.Site
+	})
+	return s
+}
+
+// WriteTimeline prints the human-readable recovery-episode timeline.
+func (s *Summary) WriteTimeline(w io.Writer) {
+	fmt.Fprintf(w, "steps %d..%d: %d sched decisions, %d checkpoints, %d rollbacks, %d lock acquisitions\n",
+		s.FirstStep, s.LastStep, s.Count(KindSchedPick),
+		s.Count(KindCheckpoint), s.Count(KindRollback), s.Count(KindLockAcquire))
+	if len(s.Episodes) == 0 {
+		fmt.Fprintln(w, "no recovery episodes")
+	}
+	for i := range s.Episodes {
+		e := &s.Episodes[i]
+		if e.Recovered {
+			fmt.Fprintf(w, "episode site=%d thread=%d: steps %d..%d (%d steps, %d retries, recovered)\n",
+				e.Site, e.TID, e.Start, e.End, e.Duration(), e.Retries)
+		} else {
+			fmt.Fprintf(w, "episode site=%d thread=%d: opened at step %d, never recovered (%d retries)\n",
+				e.Site, e.TID, e.Start, e.Retries)
+		}
+	}
+	for i := range s.Failures {
+		f := &s.Failures[i]
+		fmt.Fprintf(w, "failure at step %d on thread %d (site %d): %s\n",
+			f.Step, f.TID, f.Site, f.Text)
+	}
+}

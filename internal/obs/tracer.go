@@ -1,0 +1,89 @@
+package obs
+
+// DefaultTracerCap is the ring capacity NewTracer uses for capacity <= 0:
+// large enough to hold every event of a light forced-failure replay, small
+// enough (~16 MiB of Event structs) to be cheap to allocate per run.
+const DefaultTracerCap = 1 << 18
+
+// Tracer is a per-run, ring-buffered event sink. It is single-writer by
+// design — one interpreter run is one goroutine — and therefore does no
+// locking; give each concurrent run its own Tracer.
+//
+// When the ring fills, the oldest events are overwritten, but per-kind
+// counts keep the exact totals, so consumers can both inspect the recent
+// window and reconcile full counts against interpreter Stats.
+type Tracer struct {
+	buf     []Event
+	next    int  // next write index
+	wrapped bool // buf has been fully written at least once
+	counts  [numKinds]int64
+}
+
+// NewTracer returns a tracer holding the last capacity events
+// (DefaultTracerCap if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCap
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends e, overwriting the oldest event when the ring is full.
+func (t *Tracer) Record(e Event) {
+	if int(e.Kind) < numKinds {
+		t.counts[e.Kind]++
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.wrapped = true
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+}
+
+// Events returns the retained events in chronological order. The slice is
+// a copy; recording may continue afterwards.
+func (t *Tracer) Events() []Event {
+	if !t.wrapped {
+		return append([]Event(nil), t.buf...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Count reports how many events of kind k were recorded in total,
+// including any that the ring has since overwritten.
+func (t *Tracer) Count(k Kind) int64 {
+	if int(k) < numKinds {
+		return t.counts[k]
+	}
+	return 0
+}
+
+// Recorded reports the total number of events ever recorded.
+func (t *Tracer) Recorded() int64 {
+	var n int64
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+// Dropped reports how many recorded events the ring has overwritten.
+func (t *Tracer) Dropped() int64 {
+	return t.Recorded() - int64(len(t.buf))
+}
+
+// Reset clears the ring and the counts, keeping the allocated capacity.
+func (t *Tracer) Reset() {
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.wrapped = false
+	t.counts = [numKinds]int64{}
+}

@@ -12,12 +12,15 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"conair/internal/interp"
 	"conair/internal/mir"
+	"conair/internal/obs"
 	"conair/internal/sched"
 )
 
@@ -26,6 +29,11 @@ import (
 type Engine struct {
 	// Workers is the pool size; 0 or negative selects GOMAXPROCS.
 	Workers int
+	// Reg, when non-nil, receives engine metrics: batch and job counters,
+	// queue depth, per-job latency histogram, and per-worker job/busy-time
+	// counters (engine_worker_<k>_*) from which utilization is derived.
+	// Instrumentation never affects job order or results.
+	Reg *obs.Registry
 }
 
 // workers resolves the pool size.
@@ -65,6 +73,53 @@ func (e Engine) All(n int, pred func(i int) bool) bool {
 	return ok
 }
 
+// workerObs is one worker's metric handles.
+type workerObs struct {
+	jobs, busy *obs.Counter
+}
+
+// instr is the per-batch instrumentation state; nil when the engine has
+// no registry, so the uninstrumented path costs one nil check per job.
+type instr struct {
+	jobs    *obs.Counter
+	depth   *obs.Gauge
+	latency *obs.Histogram
+	workers []workerObs
+}
+
+// newInstr registers the batch in reg and returns per-batch handles.
+func newInstr(reg *obs.Registry, w, n int) *instr {
+	reg.Counter("engine_batches_total").Inc()
+	reg.Gauge("engine_workers").Set(int64(w))
+	in := &instr{
+		jobs:    reg.Counter("engine_jobs_total"),
+		depth:   reg.Gauge("engine_queue_depth"),
+		latency: reg.Histogram("engine_job_ns", obs.ExpBuckets(10_000, 10, 7)),
+		workers: make([]workerObs, w),
+	}
+	in.depth.Add(int64(n))
+	for k := 0; k < w; k++ {
+		in.workers[k] = workerObs{
+			jobs: reg.Counter(fmt.Sprintf("engine_worker_%d_jobs_total", k)),
+			busy: reg.Counter(fmt.Sprintf("engine_worker_%d_busy_ns_total", k)),
+		}
+	}
+	return in
+}
+
+// run executes one job under instrumentation (worker is the pool slot).
+func (in *instr) run(worker, i int, fn func(i int) bool) bool {
+	start := time.Now()
+	ok := fn(i)
+	ns := time.Since(start).Nanoseconds()
+	in.jobs.Inc()
+	in.depth.Add(-1)
+	in.latency.Observe(ns)
+	in.workers[worker].jobs.Inc()
+	in.workers[worker].busy.Add(ns)
+	return ok
+}
+
 // each is the pool core: an atomic job cursor drained by w workers.
 // Returning false from fn stops the dispatch of new jobs; each reports
 // whether every executed fn returned true.
@@ -76,10 +131,21 @@ func (e Engine) each(n int, fn func(i int) bool) bool {
 	if w > n {
 		w = n
 	}
+	var in *instr
+	if e.Reg != nil {
+		in = newInstr(e.Reg, w, n)
+	}
+	call := fn
 	if w == 1 {
 		// Sequential fast path: no goroutines, same semantics.
+		if in != nil {
+			call = func(i int) bool { return in.run(0, i, fn) }
+		}
 		for i := 0; i < n; i++ {
-			if !fn(i) {
+			if !call(i) {
+				if in != nil {
+					in.depth.Add(-int64(n - i - 1)) // cancelled jobs leave the queue
+				}
 				return false
 			}
 		}
@@ -92,21 +158,36 @@ func (e Engine) each(n int, fn func(i int) bool) bool {
 	)
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for !failed.Load() {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if !fn(i) {
+				ok := false
+				if in != nil {
+					ok = in.run(worker, i, fn)
+				} else {
+					ok = fn(i)
+				}
+				if !ok {
 					failed.Store(true)
 					return
 				}
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
+	if in != nil && failed.Load() {
+		// Jobs cancelled by the early exit never ran; drain them from the
+		// queue-depth gauge so it returns to its resting level.
+		done := int64(cursor.Load())
+		if done > int64(n) {
+			done = int64(n)
+		}
+		in.depth.Add(-(int64(n) - done))
+	}
 	return !failed.Load()
 }
 
