@@ -202,14 +202,15 @@ func printTable2() {
 func printTable3(runs, overheadSeeds int) {
 	t := report.NewTable(
 		fmt.Sprintf("Table 3: Overall bug recovery results (%d forced runs/mode; overhead averaged over %d seeds; * = needs output oracle)", runs, overheadSeeds),
-		"App", "Recovered(fix)", "Recovered(survival)", "Overhead fix", "Overhead survival", "Paper survival")
+		"App", "Recovered(fix)", "Recovered(survival)", "Overhead fix", "Overhead survival", "Paper survival", "Sanitizer")
 	for _, r := range experiments.Table3(runs, overheadSeeds) {
 		t.Row(r.Name,
 			report.Check(r.RecoveredFix, r.Conditional),
 			report.Check(r.RecoveredSurvival, r.Conditional),
 			fmt.Sprintf("%.3f%%", r.OverheadFixPct),
 			fmt.Sprintf("%.3f%%", r.OverheadSurvivalPct),
-			fmt.Sprintf("%.1f%%", r.PaperOverheadPct))
+			fmt.Sprintf("%.1f%%", r.PaperOverheadPct),
+			report.VerdictCell(r.Sanitizer))
 	}
 	emit(t)
 }

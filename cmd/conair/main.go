@@ -18,6 +18,15 @@
 //
 //	conair -trace out.json -bug MySQL1 [-seed 7] [-mode survival|fix]
 //	       [-clean] [-trace-jsonl events.jsonl] [-trace-buf N]
+//
+// Sanitize mode searches adversarial PCT schedules with the dynamic
+// race/deadlock sanitizer attached and prints every report — the
+// detect-before-recover front-end to the hardening transformation:
+//
+//	conair -sanitize [-sanitize-budget N] [-max-steps N] prog.mir
+//
+// It exits 1 when the sanitizer reports anything, 0 when the whole
+// schedule budget stays clean.
 package main
 
 import (
@@ -29,7 +38,10 @@ import (
 
 	"conair/internal/analysis"
 	"conair/internal/core"
+	"conair/internal/interp"
 	"conair/internal/mir"
+	"conair/internal/sanitizer"
+	"conair/internal/sched"
 )
 
 func main() {
@@ -51,6 +63,9 @@ func main() {
 	traceJSONL := flag.String("trace-jsonl", "", "trace mode: also write raw events as JSONL")
 	traceBuf := flag.Int("trace-buf", 1<<20, "trace mode: event ring-buffer capacity")
 	traceMaxSteps := flag.Int64("trace-max-steps", 200_000_000, "trace mode: interpreter step budget")
+	sanitize := flag.Bool("sanitize", false, "sanitize mode: hunt for races/deadlocks under PCT schedules instead of hardening")
+	sanitizeBudget := flag.Int64("sanitize-budget", 20, "sanitize mode: number of PCT schedule seeds to search")
+	sanitizeMaxSteps := flag.Int64("max-steps", 20_000_000, "sanitize mode: interpreter step budget per schedule")
 	flag.Parse()
 
 	if *trace != "" || *bug != "" {
@@ -81,6 +96,11 @@ func main() {
 	m, err := mir.Parse(string(src))
 	if err != nil {
 		fatal(err)
+	}
+
+	if *sanitize {
+		runSanitize(m, *sanitizeBudget, *sanitizeMaxSteps, *quiet)
+		return
 	}
 
 	opts := core.DefaultOptions()
@@ -135,6 +155,36 @@ func main() {
 			r.StaticReexecPoints, r.RecoverySites, r.PrunedSites, r.InterprocSites)
 		fmt.Fprintf(os.Stderr, "conair: analysis %v, transform %v\n",
 			r.AnalysisTime, r.TransformTime)
+	}
+}
+
+// runSanitize searches PCT schedule seeds 0..budget-1 with the sanitizer
+// attached and prints every distinct report. Exits 1 on any finding.
+func runSanitize(m *mir.Module, budget, maxSteps int64, quiet bool) {
+	seen := map[string]bool{}
+	runs := int64(0)
+	for seed := int64(0); seed < budget; seed++ {
+		san := sanitizer.New(m)
+		interp.RunModule(m, interp.Config{
+			Sched:     sched.NewPCT(seed, 3, 64),
+			MaxSteps:  maxSteps,
+			Sanitizer: san,
+		})
+		runs++
+		for _, rep := range san.Reports() {
+			s := rep.String()
+			if !seen[s] {
+				seen[s] = true
+				fmt.Printf("schedule %d: %s\n", seed, s)
+			}
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "conair: sanitize: %d schedules searched, %d distinct reports\n",
+			runs, len(seen))
+	}
+	if len(seen) > 0 {
+		os.Exit(1)
 	}
 }
 

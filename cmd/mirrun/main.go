@@ -4,10 +4,12 @@
 // Usage:
 //
 //	mirrun [-seed N] [-sched random|rr] [-quantum N] [-max-steps N]
-//	       [-stats] [-trace] [-trace-json out.json] prog.mir
+//	       [-stats] [-trace] [-trace-json out.json] [-sanitize] prog.mir
 //
 // The exit status is the program's exit code on completion, or 1 on a
-// detected failure (which is printed to stderr).
+// detected failure (which is printed to stderr). With -sanitize the run
+// is watched by the dynamic race/deadlock sanitizer; reports go to
+// stderr and force exit status 1 even when the program itself succeeds.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"conair/internal/interp"
 	"conair/internal/mir"
 	"conair/internal/obs"
+	"conair/internal/sanitizer"
 	"conair/internal/sched"
 )
 
@@ -29,6 +32,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print run statistics")
 	trace := flag.Bool("trace", false, "trace every executed instruction to stderr (slow)")
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace_event JSON file of the run")
+	sanitize := flag.Bool("sanitize", false, "attach the dynamic race/deadlock sanitizer")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -67,6 +71,11 @@ func main() {
 		sink = obs.NewTracer(obs.DefaultTracerCap)
 		cfg.Sink = sink
 	}
+	var san *sanitizer.Sanitizer
+	if *sanitize {
+		san = sanitizer.New(m)
+		cfg.Sanitizer = san
+	}
 	r := interp.RunModule(m, cfg)
 	if sink != nil {
 		f, err := os.Create(*traceJSON)
@@ -94,8 +103,21 @@ func main() {
 				e.Site, e.Thread, e.Retries, e.Duration())
 		}
 	}
+	sanFailed := false
+	if san != nil {
+		for _, rep := range san.Reports() {
+			fmt.Fprintln(os.Stderr, "mirrun: sanitizer:", rep)
+			sanFailed = true
+		}
+		if n := san.Truncated(); n > 0 {
+			fmt.Fprintf(os.Stderr, "mirrun: sanitizer: %d further reports truncated\n", n)
+		}
+	}
 	if r.Failure != nil {
 		fmt.Fprintln(os.Stderr, r.Failure.Error())
+		os.Exit(1)
+	}
+	if sanFailed {
 		os.Exit(1)
 	}
 	os.Exit(int(r.ExitCode & 0x7f))

@@ -93,6 +93,9 @@ type Table3Row struct {
 	OverheadFixPct, OverheadSurvivalPct float64
 	// PaperOverheadPct is the published survival overhead.
 	PaperOverheadPct float64
+	// Sanitizer is the detection verdict ("race(global)",
+	// "deadlock(la,lb)") from the dynamic sanitizer's PCT search.
+	Sanitizer string
 }
 
 // Table3 regenerates Table 3. runs is the number of forced-failure runs
@@ -113,6 +116,7 @@ func Table3(runs, overheadSeeds int) []Table3Row {
 			Runs:             runs,
 			OverheadSeeds:    overheadSeeds,
 			PaperOverheadPct: b.Paper.OverheadPct,
+			Sanitizer:        SanitizerVerdict(b, sanitizeBudget),
 		}
 
 		// Recovery: forced, light workload (recovery behaviour does not

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+
+	"conair/internal/bugs"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/mirgen"
+	"conair/internal/sanitizer"
+	"conair/internal/sched"
+)
+
+// This file is the sanitizer's experiment harness: schedule search for
+// injected-bug detection, benchmark verdicts for Table 3, and the
+// three-way cross-check that ties the mirgen bug templates, the sanitizer
+// and ConAir hardening together into one ground-truth oracle.
+
+// SanitizeRun executes mod once under cfg with a fresh sanitizer attached,
+// recording the sanitizer's counters in the experiment metrics registry.
+func SanitizeRun(mod *mir.Module, cfg interp.Config) (*sanitizer.Sanitizer, *interp.Result) {
+	san := sanitizer.New(mod)
+	cfg.Sanitizer = san
+	r := interp.RunModule(mod, cfg)
+	san.RecordMetrics(reg)
+	return san, r
+}
+
+// pctCfg is the adversarial-schedule config the sanitizer search uses;
+// the PCT parameters match internal/bugs' bug-finding tests.
+func pctCfg(seed, maxSteps int64) interp.Config {
+	return interp.Config{
+		Sched:         sched.NewPCT(seed, 3, 64),
+		MaxSteps:      maxSteps,
+		CollectOutput: true,
+	}
+}
+
+// SanitizeSearch runs mod under PCT schedule seeds 0..budget-1, returning
+// the first schedule seed whose sanitized run produced reports together
+// with those reports, or (-1, nil) when the whole budget stayed clean.
+func SanitizeSearch(mod *mir.Module, budget, maxSteps int64) (int64, []sanitizer.Report) {
+	for seed := int64(0); seed < budget; seed++ {
+		san, _ := SanitizeRun(mod, pctCfg(seed, maxSteps))
+		if rs := san.Reports(); len(rs) > 0 {
+			return seed, rs
+		}
+	}
+	return -1, nil
+}
+
+// sanitizeBudget is the PCT-schedule budget Table 3's detection column
+// searches per bug; every benchmark's bug surfaces well within it.
+const sanitizeBudget = 5
+
+// SanitizerVerdict classifies one benchmark bug for the Table 3 detection
+// column, searching up to budget schedules.
+//
+// Deadlock bugs are predicted on the unhardened forced program: the
+// lock-order edges are collected whether or not the schedule actually
+// deadlocks. Race bugs are observed on the survival-hardened forced
+// program: an order-violation failure kills the unhardened run after the
+// premature read and before the late write, so only recovery — rolling the
+// reader back until the writer lands — lets both sides of the race execute
+// in one trace.
+func SanitizerVerdict(b *bugs.Bug, budget int64) string {
+	p := prep(b)
+	mod := p.forcedSurv.Module
+	if b.Symptom == mir.FailHang {
+		mod = p.forced
+	}
+	_, rs := SanitizeSearch(mod, budget, expMaxSteps)
+	return sanitizer.Verdict(rs)
+}
+
+// matchesInfo checks one sanitizer report against a template's
+// ground-truth label; any mismatch is a false positive.
+func matchesInfo(r sanitizer.Report, info *mirgen.BugInfo) error {
+	switch info.Kind {
+	case mirgen.BugOrder, mirgen.BugAtomicity:
+		if r.Kind == sanitizer.KindDeadlock {
+			return fmt.Errorf("deadlock report for a %v template", info.Kind)
+		}
+		if r.Global != info.Global {
+			return fmt.Errorf("race on %q, want %q", r.Location(), info.Global)
+		}
+	case mirgen.BugLockInversion:
+		if r.Kind != sanitizer.KindDeadlock {
+			return fmt.Errorf("%v report for a lock-inversion template", r.Kind)
+		}
+		got := map[string]bool{r.LockA: true, r.LockB: true}
+		if !got[info.LockA] || !got[info.LockB] {
+			return fmt.Errorf("deadlock on (%s,%s), want (%s,%s)",
+				r.LockA, r.LockB, info.LockA, info.LockB)
+		}
+	default:
+		return fmt.Errorf("unexpected template kind %v", info.Kind)
+	}
+	return nil
+}
+
+// wantOutputs is the template's schedule-independent observable.
+func wantOutputs(info *mirgen.BugInfo) []interp.OutputEvent {
+	switch info.Kind {
+	case mirgen.BugAtomicity, mirgen.BugLockInversion:
+		return []interp.OutputEvent{{Text: "bug", Value: 2}}
+	}
+	return nil
+}
+
+// CrossCheckTemplate validates one injected-bug generator configuration
+// three ways, returning the first violation:
+//
+//  1. detection — some PCT schedule in the budget makes the sanitizer flag
+//     the injected bug, and every report across the whole search matches
+//     the ground-truth label (no false positives). Order violations kill
+//     the unhardened run before the late write, so when the plain search
+//     comes up empty the survival-hardened program — whose recovery lets
+//     both accesses execute — is searched too.
+//  2. clean twin — the same generator configuration without the injected
+//     bug completes under every schedule with zero sanitizer reports.
+//  3. recovery — the survival-hardened program completes under every
+//     schedule in the budget with the template's observable output intact.
+//     This leg uses random schedules: the adversarial PCT scheduler can
+//     starve the order template's writer thread past the bounded MaxRetry
+//     rollback budget, which is the paper's bounded-recovery semantics at
+//     work rather than a recovery failure.
+func CrossCheckTemplate(genCfg mirgen.Config, budget int64) error {
+	const maxSteps = 20_000_000
+	mod, info := mirgen.GenWithInfo(genCfg)
+	if info == nil {
+		return fmt.Errorf("configuration injects no bug")
+	}
+	h, err := core.Harden(mod, hardenOpts())
+	if err != nil {
+		return fmt.Errorf("harden: %w", err)
+	}
+
+	// Leg 1: detection with zero false positives.
+	found := false
+	for seed := int64(0); seed < budget; seed++ {
+		san, _ := SanitizeRun(mod, pctCfg(seed, maxSteps))
+		for _, r := range san.Reports() {
+			if err := matchesInfo(r, info); err != nil {
+				return fmt.Errorf("%v template, schedule %d: false positive: %v", info.Kind, seed, err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		for seed := int64(0); seed < budget; seed++ {
+			san, _ := SanitizeRun(h.Module, pctCfg(seed, maxSteps))
+			for _, r := range san.Reports() {
+				if err := matchesInfo(r, info); err != nil {
+					return fmt.Errorf("%v template, hardened schedule %d: false positive: %v",
+						info.Kind, seed, err)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("%v template: no PCT schedule in %d flagged the injected bug",
+			info.Kind, budget)
+	}
+
+	// Leg 2: the failure-free twin stays clean.
+	cleanCfg := genCfg
+	cleanCfg.Bug = mirgen.BugNone
+	cleanCfg.InjectBug = false
+	cleanMod := mirgen.Gen(cleanCfg)
+	for seed := int64(0); seed < budget; seed++ {
+		san, r := SanitizeRun(cleanMod, pctCfg(seed, maxSteps))
+		if r.Failure != nil {
+			return fmt.Errorf("clean twin, schedule %d: failed: %v", seed, r.Failure)
+		}
+		if rs := san.Reports(); len(rs) > 0 {
+			return fmt.Errorf("clean twin, schedule %d: false positive: %v", seed, rs[0])
+		}
+	}
+
+	// Leg 3: hardened recovery preserves the observable output.
+	want := wantOutputs(info)
+	for seed := int64(0); seed < budget; seed++ {
+		r := interp.RunModule(h.Module, interp.Config{
+			Sched:         sched.NewRandom(seed),
+			MaxSteps:      maxSteps,
+			CollectOutput: true,
+		})
+		if !r.Completed {
+			return fmt.Errorf("%v template, schedule %d: hardened run did not recover: %v",
+				info.Kind, seed, r.Failure)
+		}
+		if len(r.Output) != len(want) {
+			return fmt.Errorf("%v template, schedule %d: %d outputs, want %d",
+				info.Kind, seed, len(r.Output), len(want))
+		}
+		for i := range want {
+			if r.Output[i].Text != want[i].Text || r.Output[i].Value != want[i].Value {
+				return fmt.Errorf("%v template, schedule %d: output[%d] = %q=%d, want %q=%d",
+					info.Kind, seed, i, r.Output[i].Text, r.Output[i].Value,
+					want[i].Text, want[i].Value)
+			}
+		}
+	}
+	return nil
+}

@@ -67,6 +67,13 @@ type Config struct {
 	// default — the dispatch loop pays only a pointer check per event
 	// site and allocates nothing.
 	Sink *obs.Tracer
+	// Sanitizer, when non-nil, receives synchronization and shared-memory
+	// events for dynamic race and deadlock detection (see the Sanitizer
+	// interface). It has the same contract as Sink: observation is
+	// passive — a sanitized run is bit-identical to an unsanitized one —
+	// and the nil default costs one pointer check per hook site with zero
+	// allocations.
+	Sanitizer Sanitizer
 }
 
 // Defaults for Config zero values.

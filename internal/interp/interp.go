@@ -34,6 +34,9 @@ type VM struct {
 	// the disabled path costs a pointer compare and zero allocations.
 	sink *obs.Tracer
 
+	// san mirrors cfg.Sanitizer under the same nil-check contract as sink.
+	san Sanitizer
+
 	// live lists the ids of non-done threads in ascending id order, and
 	// waiting counts how many of them are not statusRunnable. Together they
 	// replace the per-step all-threads rescan in pickThread: when waiting
@@ -68,8 +71,12 @@ func New(mod *mir.Module, cfg Config) *VM {
 		lcks:  newLocks(),
 		pools: make([][][2][]mir.Word, len(mod.Functions)),
 		sink:  cfg.Sink,
+		san:   cfg.Sanitizer,
 	}
 	vm.mainTID = vm.spawn(mi, nil)
+	if vm.san != nil {
+		vm.san.ThreadSpawn(-1, vm.mainTID)
+	}
 	return vm
 }
 
@@ -388,9 +395,15 @@ func (vm *VM) exec(t *thread) {
 
 	case mir.OpLoadG:
 		fr.regs[in.Dst] = vm.mem.globals[in.Global]
+		if vm.san != nil {
+			vm.san.Access(t.id, globalAddr(in.Global), false, posOf(fr))
+		}
 
 	case mir.OpStoreG:
 		vm.mem.globals[in.Global] = eval(fr, in.A)
+		if vm.san != nil {
+			vm.san.Access(t.id, globalAddr(in.Global), true, posOf(fr))
+		}
 
 	case mir.OpAddrG:
 		fr.regs[in.Dst] = globalAddr(in.Global)
@@ -404,6 +417,9 @@ func (vm *VM) exec(t *thread) {
 			return
 		}
 		fr.regs[in.Dst] = v
+		if vm.san != nil {
+			vm.san.Access(t.id, addr, false, posOf(fr))
+		}
 
 	case mir.OpStore:
 		addr := eval(fr, in.A)
@@ -411,6 +427,9 @@ func (vm *VM) exec(t *thread) {
 			vm.fail(mir.FailSegfault, posOf(fr), in.Site, t.id,
 				fmt.Sprintf("invalid write at address %d", addr))
 			return
+		}
+		if vm.san != nil {
+			vm.san.Access(t.id, addr, true, posOf(fr))
 		}
 
 	case mir.OpLoadS:
@@ -445,12 +464,21 @@ func (vm *VM) exec(t *thread) {
 					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
 				})
 			}
+			if vm.san != nil {
+				vm.san.LockAcquire(t.id, addr, false, posOf(fr))
+			}
 		case mu.holder == t.id && t.status != statusBlockedLock:
 			vm.fail(mir.FailHang, posOf(fr), in.Site, t.id,
 				fmt.Sprintf("self-deadlock on lock %d", addr))
 			return
 		default:
 			if t.status != statusBlockedLock {
+				if vm.san != nil {
+					// Record the lock request before the wait-for-cycle
+					// check below: an actual deadlock fails the run right
+					// here, and the predictor needs this edge.
+					vm.san.LockRequest(t.id, addr, false, posOf(fr))
+				}
 				vm.setStatus(t, statusBlockedLock)
 				t.blockAddr = addr
 				t.blockedSince = vm.step
@@ -486,6 +514,9 @@ func (vm *VM) exec(t *thread) {
 					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
 				})
 			}
+			if vm.san != nil {
+				vm.san.LockAcquire(t.id, addr, true, posOf(fr))
+			}
 			if in.Site > 0 {
 				if e := t.endEpisode(in.Site, vm.step); e != nil {
 					vm.stats.Episodes = append(vm.stats.Episodes, *e)
@@ -510,6 +541,9 @@ func (vm *VM) exec(t *thread) {
 			}
 		default:
 			if !waiting {
+				if vm.san != nil {
+					vm.san.LockRequest(t.id, addr, true, posOf(fr))
+				}
 				vm.setStatus(t, statusBlockedLock)
 				t.blockAddr = addr
 				t.blockedSince = vm.step
@@ -523,6 +557,9 @@ func (vm *VM) exec(t *thread) {
 		mu := vm.lcks.get(addr)
 		if mu.held && mu.holder == t.id {
 			mu.held = false
+			if vm.san != nil {
+				vm.san.LockRelease(t.id, addr)
+			}
 		}
 		// Unlocking a lock we do not hold is undefined in pthreads; the
 		// interpreter ignores it, as the analyses never generate it.
@@ -548,6 +585,9 @@ func (vm *VM) exec(t *thread) {
 			args[i] = eval(fr, a)
 		}
 		fr.regs[in.Dst] = mir.Word(vm.spawn(in.Callee, args))
+		if vm.san != nil {
+			vm.san.ThreadSpawn(t.id, int(fr.regs[in.Dst]))
+		}
 
 	case mir.OpJoin:
 		target := int(eval(fr, in.A))
@@ -556,6 +596,10 @@ func (vm *VM) exec(t *thread) {
 			vm.setStatus(t, statusBlockedJoin)
 			t.joinTarget = target
 			advance = false
+		} else if vm.san != nil {
+			// The waiter proceeds past the join: the target's effects now
+			// happen-before everything the waiter does next.
+			vm.san.ThreadJoin(t.id, target)
 		}
 
 	case mir.OpOutput:
@@ -737,6 +781,9 @@ func (vm *VM) rollback(t *thread) {
 			mu := vm.lcks.get(ce.addr)
 			if mu.held && mu.holder == t.id {
 				mu.held = false
+				if vm.san != nil {
+					vm.san.LockRelease(t.id, ce.addr)
+				}
 			}
 			vm.stats.CompUnlocks++
 		}

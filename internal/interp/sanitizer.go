@@ -1,0 +1,41 @@
+package interp
+
+import "conair/internal/mir"
+
+// Sanitizer receives the interpreter's synchronization and shared-memory
+// events: thread lifecycle edges, lock requests/acquisitions/releases, and
+// every global or heap access. It is the attachment point for dynamic
+// analyses such as the happens-before race detector and the lock-order
+// deadlock predictor in internal/sanitizer; the interface lives here so
+// the interpreter does not depend on any particular detector.
+//
+// The contract mirrors Config.Sink: observation must be passive. A
+// sanitized run must be bit-identical to an unsanitized one — callbacks
+// may not mutate interpreter state, consume scheduler randomness, or
+// block. When Config.Sanitizer is nil (the default), every hook site pays
+// one pointer comparison and allocates nothing.
+//
+// Callback order follows execution order on the virtual-time step counter:
+//
+//   - ThreadSpawn(parent, child) fires when child is created; the main
+//     thread is announced as ThreadSpawn(-1, main) before the run starts.
+//   - ThreadJoin(waiter, target) fires when the waiter proceeds past a
+//     join — i.e. once target has exited, never while still blocked.
+//   - LockRequest fires at most once per blocking acquisition attempt,
+//     when the thread first transitions to the blocked state. A successful
+//     immediate acquisition fires only LockAcquire.
+//   - LockAcquire fires on every successful acquisition (timed reports
+//     timed=true). LockRelease fires on every release, including the
+//     compensation releases performed by rollback.
+//   - Access fires after every successful shared-memory read or write:
+//     globals (loadg/storeg) and heap or global words reached through
+//     pointers (load/store). Stack slots and registers are thread-local
+//     and are not reported. Faulting accesses do not fire.
+type Sanitizer interface {
+	ThreadSpawn(parent, child int)
+	ThreadJoin(waiter, target int)
+	LockRequest(tid int, addr mir.Word, timed bool, pos mir.Pos)
+	LockAcquire(tid int, addr mir.Word, timed bool, pos mir.Pos)
+	LockRelease(tid int, addr mir.Word)
+	Access(tid int, addr mir.Word, write bool, pos mir.Pos)
+}

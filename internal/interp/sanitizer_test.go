@@ -1,0 +1,154 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// recSan records every sanitizer callback as one line, to pin the hook
+// placement contract documented on the Sanitizer interface.
+type recSan struct {
+	events []string
+}
+
+func (r *recSan) add(format string, args ...any) {
+	r.events = append(r.events, fmt.Sprintf(format, args...))
+}
+
+func (r *recSan) ThreadSpawn(parent, child int) { r.add("spawn %d->%d", parent, child) }
+func (r *recSan) ThreadJoin(waiter, target int) { r.add("join %d<-%d", waiter, target) }
+func (r *recSan) LockRequest(tid int, addr mir.Word, timed bool, pos mir.Pos) {
+	r.add("request t%d %s timed=%v", tid, lockLabel(addr), timed)
+}
+func (r *recSan) LockAcquire(tid int, addr mir.Word, timed bool, pos mir.Pos) {
+	r.add("acquire t%d %s timed=%v", tid, lockLabel(addr), timed)
+}
+func (r *recSan) LockRelease(tid int, addr mir.Word) {
+	r.add("release t%d %s", tid, lockLabel(addr))
+}
+func (r *recSan) Access(tid int, addr mir.Word, write bool, pos mir.Pos) {
+	r.add("access t%d g%d write=%v", tid, addr-GlobalBase, write)
+}
+
+func lockLabel(addr mir.Word) string { return fmt.Sprintf("g%d", addr-GlobalBase) }
+
+// The child's work is strictly serialized against main by the join, so the
+// full event sequence is schedule-independent.
+const sanHookSrc = `
+module hooks
+global g = 0
+global lk = 0
+
+func child() {
+entry:
+  %p = addrg @lk
+  lock %p
+  %v = loadg @g
+  %v1 = add %v, 1
+  storeg @g, %v1
+  unlock %p
+  %t = timedlock %p, 50
+  unlock %p
+  ret
+}
+
+func main() {
+entry:
+  %c = spawn child()
+  join %c
+  %v = loadg @g
+  ret %v
+}
+`
+
+func TestSanitizerHookSequence(t *testing.T) {
+	mod := mir.MustParse(sanHookSrc)
+	want := []string{
+		"spawn -1->0",
+		"spawn 0->1",
+		"acquire t1 g1 timed=false",
+		"access t1 g0 write=false",
+		"access t1 g0 write=true",
+		"release t1 g1",
+		"acquire t1 g1 timed=true",
+		"release t1 g1",
+		"join 0<-1",
+		"access t0 g0 write=false",
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		rec := &recSan{}
+		vm := New(mod, Config{Sched: sched.NewRandom(seed), Sanitizer: rec})
+		res := vm.Run()
+		if !res.Completed || res.ExitCode != 1 {
+			t.Fatalf("seed %d: run failed: %+v", seed, res)
+		}
+		got := strings.Join(rec.events, "\n")
+		if got != strings.Join(want, "\n") {
+			t.Fatalf("seed %d: event sequence mismatch:\ngot:\n%s\nwant:\n%s",
+				seed, got, strings.Join(want, "\n"))
+		}
+	}
+}
+
+// TestSanitizerLockRequestOnBlock checks that a blocking acquisition fires
+// LockRequest exactly once even across repeated scheduling of the blocked
+// thread, and that the eventual success still fires LockAcquire.
+func TestSanitizerLockRequestOnBlock(t *testing.T) {
+	const src = `
+module blockreq
+global lk = 0
+
+func child() {
+entry:
+  %p = addrg @lk
+  lock %p
+  unlock %p
+  ret
+}
+
+func main() {
+entry:
+  %p = addrg @lk
+  lock %p
+  %c = spawn child()
+  sleep 200
+  unlock %p
+  join %c
+  ret 0
+}
+`
+	mod := mir.MustParse(src)
+	blockedSeen := false
+	for seed := int64(0); seed < 20; seed++ {
+		rec := &recSan{}
+		vm := New(mod, Config{Sched: sched.NewRandom(seed), Sanitizer: rec})
+		if res := vm.Run(); !res.Completed {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+		var requests, acquires int
+		for _, e := range rec.events {
+			if strings.HasPrefix(e, "request t1") {
+				requests++
+			}
+			if strings.HasPrefix(e, "acquire t1") {
+				acquires++
+			}
+		}
+		if acquires != 1 {
+			t.Fatalf("seed %d: child must acquire exactly once, got %d", seed, acquires)
+		}
+		if requests > 1 {
+			t.Fatalf("seed %d: blocked request fired %d times", seed, requests)
+		}
+		if requests == 1 {
+			blockedSeen = true
+		}
+	}
+	if !blockedSeen {
+		t.Fatal("no seed exercised the blocking path; main's sleep should force it")
+	}
+}

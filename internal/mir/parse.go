@@ -55,6 +55,26 @@ func MustParse(src string) *Module {
 	return m
 }
 
+// validIdent reports whether s can be used as a module, function,
+// global, block, register, or slot name and survive a print/re-parse
+// round trip: non-empty and free of whitespace and the delimiter
+// characters the grammar uses (commas, quotes, parens, '%', '@', ...).
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '_', c == '.', c == '$', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func stripComment(s string) string {
 	if i := strings.Index(s, ";"); i >= 0 {
 		s = s[:i]
@@ -101,6 +121,9 @@ func (p *parser) line(line string) error {
 	}
 	if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t") {
 		name := strings.TrimSuffix(line, ":")
+		if !validIdent(name) {
+			return fmt.Errorf("bad block label %q", name)
+		}
 		for _, b := range p.f.Blocks {
 			if b.Name == name {
 				return fmt.Errorf("block %q redeclared", name)
@@ -124,7 +147,11 @@ func (p *parser) line(line string) error {
 func (p *parser) topLevel(line string) error {
 	switch {
 	case strings.HasPrefix(line, "module "):
-		p.m.Name = strings.TrimSpace(strings.TrimPrefix(line, "module "))
+		name := strings.TrimSpace(strings.TrimPrefix(line, "module "))
+		if !validIdent(name) {
+			return fmt.Errorf("bad module name %q", name)
+		}
+		p.m.Name = name
 		return nil
 	case strings.HasPrefix(line, "global "):
 		rest := strings.TrimPrefix(line, "global ")
@@ -133,6 +160,9 @@ func (p *parser) topLevel(line string) error {
 			return fmt.Errorf("global needs '= value'")
 		}
 		name = strings.TrimSpace(name)
+		if !validIdent(name) {
+			return fmt.Errorf("bad global name %q", name)
+		}
 		v, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
 		if err != nil {
 			return fmt.Errorf("global %s: %w", name, err)
@@ -154,6 +184,9 @@ func (p *parser) topLevel(line string) error {
 			return fmt.Errorf("malformed func header")
 		}
 		name := strings.TrimSpace(rest[:open])
+		if !validIdent(name) {
+			return fmt.Errorf("bad function name %q", name)
+		}
 		if p.m.FuncIndex(name) >= 0 {
 			return fmt.Errorf("function %q redeclared", name)
 		}
@@ -167,6 +200,9 @@ func (p *parser) topLevel(line string) error {
 					return fmt.Errorf("parameter %q must start with %%", prm)
 				}
 				rn := prm[1:]
+				if !validIdent(rn) {
+					return fmt.Errorf("bad parameter name %q", rn)
+				}
 				if _, dup := p.regs[rn]; dup {
 					return fmt.Errorf("duplicate parameter %q", rn)
 				}
@@ -210,6 +246,9 @@ func (p *parser) operand(tok string) (Operand, error) {
 		return None, nil
 	}
 	if strings.HasPrefix(tok, "%") {
+		if !validIdent(tok[1:]) {
+			return None, fmt.Errorf("bad register name %q", tok[1:])
+		}
 		return Reg(p.reg(tok[1:])), nil
 	}
 	v, err := strconv.ParseInt(tok, 10, 64)
@@ -272,7 +311,11 @@ func (p *parser) instr(line string) (Instr, error) {
 			return in, fmt.Errorf("register line without '='")
 		}
 		dst = strings.TrimSpace(dst)
-		in.Dst = p.reg(strings.TrimPrefix(dst, "%"))
+		rn := strings.TrimPrefix(dst, "%")
+		if !validIdent(rn) {
+			return in, fmt.Errorf("bad register name %q", rn)
+		}
+		in.Dst = p.reg(rn)
 		rest = strings.TrimSpace(r)
 	}
 	op, args, _ := strings.Cut(rest, " ")
@@ -296,6 +339,13 @@ func (p *parser) instr(line string) (Instr, error) {
 		in.Op, in.Imm = OpConst, v
 		return in, nil
 	case "loadg", "storeg", "addrg":
+		want := 1
+		if op == "storeg" {
+			want = 2
+		}
+		if err := need(want); err != nil {
+			return in, err
+		}
 		g, err := p.global(parts[0])
 		if err != nil {
 			return in, err
@@ -304,18 +354,13 @@ func (p *parser) instr(line string) (Instr, error) {
 		switch op {
 		case "loadg":
 			in.Op = OpLoadG
-			return in, need(1)
 		case "addrg":
 			in.Op = OpAddrG
-			return in, need(1)
 		default:
 			in.Op = OpStoreG
-			if err := need(2); err != nil {
-				return in, err
-			}
 			in.A, err = p.operand(parts[1])
-			return in, err
 		}
+		return in, err
 	case "load", "free", "lock", "unlock", "join", "sleep", "sleeprand", "alloc":
 		if err := need(1); err != nil {
 			return in, err
@@ -356,18 +401,26 @@ func (p *parser) instr(line string) (Instr, error) {
 		in.Op = OpStore
 		return in, err
 	case "loads", "stores":
+		want := 1
+		if op == "stores" {
+			want = 2
+		}
+		if err := need(want); err != nil {
+			return in, err
+		}
 		if !strings.HasPrefix(parts[0], "$") {
 			return in, fmt.Errorf("expected $slot, got %q", parts[0])
 		}
-		in.Slot = p.slot(parts[0][1:])
+		sn := parts[0][1:]
+		if !validIdent(sn) {
+			return in, fmt.Errorf("bad slot name %q", sn)
+		}
+		in.Slot = p.slot(sn)
 		if op == "loads" {
 			in.Op = OpLoadS
-			return in, need(1)
+			return in, nil
 		}
 		in.Op = OpStoreS
-		if err := need(2); err != nil {
-			return in, err
-		}
 		var err error
 		in.A, err = p.operand(parts[1])
 		return in, err

@@ -1,0 +1,41 @@
+package mirgen
+
+import (
+	"testing"
+
+	"conair/internal/mir"
+)
+
+// FuzzGen drives generator configurations through Verify and a
+// print/parse round trip: every configuration in the supported range
+// must produce a well-formed module whose printed text re-parses.
+func FuzzGen(f *testing.F) {
+	f.Add(int64(1), 3, 12, 0, uint8(0))
+	f.Add(int64(7), 1, 4, 2, uint8(1))
+	f.Add(int64(42), 6, 24, 4, uint8(2))
+	f.Add(int64(-5), 0, 0, 1, uint8(3))
+
+	f.Fuzz(func(t *testing.T, seed int64, funcs, stmts, threads int, bug uint8) {
+		if funcs < 0 || funcs > 8 || stmts < 0 || stmts > 48 || threads < 0 || threads > 8 {
+			t.Skip("out of supported range")
+		}
+		cfg := Config{
+			Seed:         seed,
+			Funcs:        funcs,
+			StmtsPerFunc: stmts,
+			Threads:      threads,
+			Bug:          BugKind(bug % 4),
+		}
+		m := Gen(cfg)
+		if err := mir.Verify(m); err != nil {
+			t.Fatalf("generated module fails verification: %v\n%s", err, mir.Print(m))
+		}
+		m2, err := mir.Parse(mir.Print(m))
+		if err != nil {
+			t.Fatalf("generated module does not round-trip: %v", err)
+		}
+		if mir.Print(m2) != mir.Print(m) {
+			t.Fatal("generated module print is not a fixed point")
+		}
+	})
+}

@@ -42,8 +42,62 @@ type Config struct {
 	// on an initialization flag that a second thread publishes late. The
 	// unhardened program then fails deterministically, and a hardened one
 	// must recover — the recovery-fuzzing counterpart to the
-	// semantics-preservation properties.
+	// semantics-preservation properties. Equivalent to Bug: BugOrder.
 	InjectBug bool
+	// Bug selects an injected bug template with ground-truth labels (see
+	// BugKind); BugNone generates the failure-free program. Takes
+	// precedence over InjectBug.
+	Bug BugKind
+}
+
+// BugKind enumerates the injectable bug templates. Each corresponds to one
+// of the paper's bug classes and carries a ground-truth label (BugInfo) so
+// sanitizer verdicts and recovery outcomes are machine-checkable.
+type BugKind int
+
+const (
+	// BugNone injects nothing: the program is failure-free and race-free
+	// by construction.
+	BugNone BugKind = iota
+	// BugOrder is an order violation: a reader asserts on a flag the
+	// writer publishes late, so the unhardened program fails on every
+	// schedule.
+	BugOrder
+	// BugAtomicity is an atomicity violation in the MySQL2 shape: a
+	// checker double-reads a global with a preemption window between the
+	// reads while a mutator rewrites it non-atomically; some schedules
+	// observe a torn pair and fail.
+	BugAtomicity
+	// BugLockInversion is a lock-order-inversion deadlock: two threads
+	// take the same lock pair in opposite orders around a sleep, so some
+	// schedules deadlock.
+	BugLockInversion
+)
+
+// String implements fmt.Stringer.
+func (k BugKind) String() string {
+	switch k {
+	case BugNone:
+		return "none"
+	case BugOrder:
+		return "order"
+	case BugAtomicity:
+		return "atomicity"
+	case BugLockInversion:
+		return "lock-inversion"
+	}
+	return fmt.Sprintf("BugKind(%d)", int(k))
+}
+
+// BugInfo is the ground-truth label for an injected bug.
+type BugInfo struct {
+	Kind BugKind
+	// Global is the racy global (BugOrder, BugAtomicity).
+	Global string
+	// LockA, LockB are the inverted lock pair (BugLockInversion).
+	LockA, LockB string
+	// ThreadFns are the two injected thread bodies.
+	ThreadFns [2]string
 }
 
 func (c Config) withDefaults() Config {
@@ -56,19 +110,29 @@ func (c Config) withDefaults() Config {
 	if c.Globals <= 0 {
 		c.Globals = 6
 	}
+	if c.Bug == BugNone && c.InjectBug {
+		c.Bug = BugOrder
+	}
 	return c
 }
 
 // Gen builds a random program for the configuration. Identical configs
 // generate identical programs.
 func Gen(cfg Config) *mir.Module {
+	m, _ := GenWithInfo(cfg)
+	return m
+}
+
+// GenWithInfo builds a random program plus the ground-truth label of its
+// injected bug (nil when cfg injects none).
+func GenWithInfo(cfg Config) (*mir.Module, *BugInfo) {
 	cfg = cfg.withDefaults()
 	g := &gen{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 		b:   mir.NewBuilder(fmt.Sprintf("gen-%d", cfg.Seed)),
 	}
-	return g.module()
+	return g.module(), g.info
 }
 
 type gen struct {
@@ -81,6 +145,10 @@ type gen struct {
 	counterGids []int
 	funcNames   []string
 	nreg        int
+	info        *BugInfo
+	// bugOut is the global whose post-join value is the injected
+	// template's deterministic observable.
+	bugOut int
 }
 
 func (g *gen) module() *mir.Module {
@@ -119,9 +187,9 @@ func (g *gen) module() *mir.Module {
 		w.Ret(mir.None)
 	}
 
-	var bugFlag int
-	if g.cfg.InjectBug {
-		bugFlag = g.b.Global("bug_flag", 0)
+	switch g.cfg.Bug {
+	case BugOrder:
+		bugFlag := g.b.Global("bug_flag", 0)
 
 		// The failing thread: reads the flag somewhere inside otherwise
 		// ordinary work and asserts it is set.
@@ -136,16 +204,96 @@ func (g *gen) module() *mir.Module {
 		wr.Sleep(mir.Imm(mir.Word(150 + g.rng.Intn(400))))
 		wr.StoreG(bugFlag, mir.Imm(1))
 		wr.Ret(mir.None)
+		g.info = &BugInfo{Kind: BugOrder, Global: "bug_flag",
+			ThreadFns: [2]string{"bugreader", "bugwriter"}}
+
+	case BugAtomicity:
+		// MySQL2 shape: the checker's two reads of bug_val must see the
+		// same value, but the mutator rewrites it non-atomically (a
+		// transient 0 between the two stores), so a preemption inside the
+		// checker's window tears the pair.
+		bugVal := g.b.Global("bug_val", 2)
+
+		ck := g.b.Func("bugchecker")
+		a := ck.LoadG("a", bugVal)
+		ck.Const("wi", 0)
+		loop := ck.Label("window")
+		ck.Yield()
+		ck.Bin("wi", mir.BinAdd, ck.R("wi"), mir.Imm(1))
+		wc := ck.Bin("wc", mir.BinLt, ck.R("wi"), mir.Imm(40))
+		after := ck.NewBlock("window_end")
+		ck.Br(wc, loop, after)
+		ck.SetBlock(after)
+		bv := ck.LoadG("b", bugVal)
+		eq := ck.Bin("eq", mir.BinEq, a, bv)
+		ck.Assert(eq, "injected: non-atomic double read")
+		// Random filler after the racy window keeps generator variety
+		// without desynchronizing the checker from the mutator's stores.
+		g.body(ck, 0, true)
+		ck.Ret(mir.None)
+
+		mu := g.b.Func("bugmutator")
+		mu.Sleep(mir.Imm(mir.Word(5 + g.rng.Intn(30))))
+		mu.StoreG(bugVal, mir.Imm(0))
+		mu.Yield()
+		mu.StoreG(bugVal, mir.Imm(2))
+		mu.Ret(mir.None)
+		g.bugOut = bugVal
+		g.info = &BugInfo{Kind: BugAtomicity, Global: "bug_val",
+			ThreadFns: [2]string{"bugchecker", "bugmutator"}}
+
+	case BugLockInversion:
+		// Two threads take the same lock pair in opposite orders around a
+		// sleep; the shared counter under both locks keeps the observable
+		// output schedule-independent.
+		lka := g.b.Global("bug_lka", 0)
+		lkb := g.b.Global("bug_lkb", 0)
+		cnt := g.b.Global("bug_cnt", 0)
+		half := func(name string, first, second int) {
+			f := g.b.Func(name)
+			g.body(f, 0, true)
+			p1 := f.AddrG("p1", first)
+			f.Lock(p1)
+			f.Sleep(mir.Imm(mir.Word(20 + g.rng.Intn(60))))
+			p2 := f.AddrG("p2", second)
+			f.Lock(p2)
+			c := f.LoadG("c", cnt)
+			c1 := f.Bin("c1", mir.BinAdd, c, mir.Imm(1))
+			f.StoreG(cnt, c1)
+			f.Unlock(p2)
+			f.Unlock(p1)
+			f.Ret(mir.None)
+		}
+		half("bugleft", lka, lkb)
+		half("bugright", lkb, lka)
+		g.bugOut = cnt
+		g.info = &BugInfo{Kind: BugLockInversion, LockA: "bug_lka", LockB: "bug_lkb",
+			ThreadFns: [2]string{"bugleft", "bugright"}}
 	}
 
 	m := g.b.Func("main")
-	if g.cfg.InjectBug {
+	if g.cfg.Bug == BugOrder {
 		tw := m.Spawn("bw", "bugwriter")
 		tr := m.Spawn("br", "bugreader")
 		// Main keeps doing concurrent-safe work while the race unfolds.
 		g.body(m, len(g.funcNames), true)
 		m.Join(tr)
 		m.Join(tw)
+		m.Ret(mir.Imm(0))
+		return g.b.MustModule()
+	}
+	if g.cfg.Bug != BugNone {
+		t1 := m.Spawn("b1", g.info.ThreadFns[0])
+		t2 := m.Spawn("b2", g.info.ThreadFns[1])
+		// Main keeps doing concurrent-safe work while the bug unfolds.
+		g.body(m, len(g.funcNames), true)
+		m.Join(t1)
+		m.Join(t2)
+		// Deterministic observable after both joins: the template global
+		// has a schedule-independent final value (bug_val settles to 2,
+		// bug_cnt to the number of injected threads).
+		v := m.LoadG("bugout", g.bugOut)
+		m.Output("bug", v)
 		m.Ret(mir.Imm(0))
 		return g.b.MustModule()
 	}

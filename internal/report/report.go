@@ -123,6 +123,15 @@ func (t *Table) CSV() string {
 // Pct formats a ratio as a percentage string.
 func Pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
 
+// VerdictCell renders a sanitizer verdict as a table cell: the empty
+// verdict and "none" become "-", anything else passes through.
+func VerdictCell(v string) string {
+	if v == "" || v == "none" {
+		return "-"
+	}
+	return v
+}
+
 // Check renders the paper's X / Xc / - markers.
 func Check(ok, conditional bool) string {
 	switch {

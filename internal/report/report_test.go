@@ -65,3 +65,17 @@ func TestCheck(t *testing.T) {
 		}
 	}
 }
+
+func TestVerdictCell(t *testing.T) {
+	cases := map[string]string{
+		"":                      "-",
+		"none":                  "-",
+		"race(log_state)":       "race(log_state)",
+		"deadlock(nlock,slock)": "deadlock(nlock,slock)",
+	}
+	for in, want := range cases {
+		if got := VerdictCell(in); got != want {
+			t.Errorf("VerdictCell(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package sanitizer implements dynamic concurrency-bug detection over the
+// interpreter's sanitizer hook (interp.Config.Sanitizer):
+//
+//   - a happens-before data-race detector: per-thread vector clocks
+//     advanced on spawn, join and lock release→acquire edges, checked
+//     against per-location read/write shadow state covering globals and
+//     heap words;
+//   - a lock-order deadlock predictor (Goodlock-style): lock-order edges
+//     "held A while acquiring B" collected per thread, with inverted
+//     pairs reported when the two acquisitions are concurrent under the
+//     fork/join-only happens-before relation and share no gate lock.
+//
+// Detection is entirely passive: the sanitizer never mutates interpreter
+// state, so a sanitized run is bit-identical to an unsanitized one.
+//
+// Race reports are sound for the observed schedule (no false positives on
+// correctly synchronized programs); which races are observed depends on
+// the schedule, which is why the experiment harness searches over PCT
+// schedules. Deadlock reports are predictive: a lock-order inversion is
+// reported even when the observed run did not actually deadlock, as long
+// as fork/join ordering (the only ordering hardening preserves) does not
+// rule the interleaving out. Cycles through timed acquisitions are not
+// reported — a timed lock self-resolves, which is exactly how ConAir's
+// hardening neutralizes a deadlock site.
+package sanitizer
+
+import (
+	"conair/internal/interp"
+	"conair/internal/mir"
+)
+
+// DefaultMaxReports bounds the report list; detection state keeps updating
+// after the cap so clocks stay correct, but further reports are counted
+// rather than stored.
+const DefaultMaxReports = 100
+
+// Sanitizer is the detector state for one interpreter run. Create with
+// New, pass as interp.Config.Sanitizer, then call Finish (or Reports)
+// after the run. Not safe for concurrent use; the interpreter is a
+// single-goroutine VM, so the hooks are naturally serialized.
+type Sanitizer struct {
+	// MaxReports caps stored reports (default DefaultMaxReports).
+	MaxReports int
+
+	mod *mir.Module
+
+	// clocks is the full happens-before vector clock per thread id
+	// (spawn, join, and lock release→acquire edges). fclocks tracks only
+	// fork/join edges — the ordering that is schedule-independent — and
+	// drives deadlock prediction.
+	clocks  [][]int64
+	fclocks [][]int64
+
+	// lockRel holds each lock's release clock (the releasing thread's
+	// clock at its latest unlock), joined into acquirers.
+	lockRel map[mir.Word][]int64
+
+	// held is each thread's current lock set in acquisition order.
+	held map[int][]heldLock
+
+	shadow map[mir.Word]*cell
+
+	edges    []lockEdge
+	edgeSeen map[edgeKey]struct{}
+
+	reports   []Report
+	raceSeen  map[raceKey]struct{}
+	dlSeen    map[[2]mir.Word]struct{}
+	truncated int64
+
+	accesses int64
+	syncOps  int64
+	finished bool
+}
+
+// New returns a sanitizer for a run of mod; the module is used only to
+// resolve global names and positions in reports.
+func New(mod *mir.Module) *Sanitizer {
+	return &Sanitizer{
+		MaxReports: DefaultMaxReports,
+		mod:        mod,
+		lockRel:    map[mir.Word][]int64{},
+		held:       map[int][]heldLock{},
+		shadow:     map[mir.Word]*cell{},
+		edgeSeen:   map[edgeKey]struct{}{},
+		raceSeen:   map[raceKey]struct{}{},
+		dlSeen:     map[[2]mir.Word]struct{}{},
+	}
+}
+
+var _ interp.Sanitizer = (*Sanitizer)(nil)
+
+type heldLock struct {
+	addr  mir.Word
+	timed bool
+	pos   mir.Pos
+}
+
+// epoch is one access in shadow state: the acquiring thread's own clock
+// component at access time, plus the position for reporting.
+type epoch struct {
+	tid int
+	clk int64
+	pos mir.Pos
+}
+
+// cell is the per-address shadow state: the last write plus one read entry
+// per thread (same-thread reads replace, bounding growth at thread count).
+type cell struct {
+	w     epoch // w.tid < 0 means no write seen
+	reads []epoch
+	hasW  bool
+}
+
+// lockEdge records "tid held from while acquiring to". fvc snapshots the
+// thread's fork/join clock and heldAt its lock set at that moment.
+type lockEdge struct {
+	from, to       mir.Word
+	tid            int
+	timed          bool
+	fvc            []int64
+	heldAt         []mir.Word
+	fromPos, toPos mir.Pos
+}
+
+type edgeKey struct {
+	from, to mir.Word
+	tid      int
+}
+
+type raceKey struct {
+	kind       Kind
+	addr       mir.Word
+	prior, cur mir.Pos
+}
+
+// ---------------------------------------------------------------- clocks
+
+func (s *Sanitizer) thread(tid int) {
+	for tid >= len(s.clocks) {
+		s.clocks = append(s.clocks, nil)
+		s.fclocks = append(s.fclocks, nil)
+	}
+	if s.clocks[tid] == nil {
+		vc := make([]int64, tid+1)
+		vc[tid] = 1
+		s.clocks[tid] = vc
+		fc := make([]int64, tid+1)
+		fc[tid] = 1
+		s.fclocks[tid] = fc
+	}
+}
+
+// joinVC merges src into *dst pointwise (dst grows as needed).
+func joinVC(dst *[]int64, src []int64) {
+	d := *dst
+	for len(d) < len(src) {
+		d = append(d, 0)
+	}
+	for i, v := range src {
+		if v > d[i] {
+			d[i] = v
+		}
+	}
+	*dst = d
+}
+
+func at(vc []int64, tid int) int64 {
+	if tid < len(vc) {
+		return vc[tid]
+	}
+	return 0
+}
+
+// leq reports a ≤ b pointwise.
+func leq(a, b []int64) bool {
+	for i, v := range a {
+		if v > at(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// concurrent reports that neither clock happens-before the other.
+func concurrent(a, b []int64) bool { return !leq(a, b) && !leq(b, a) }
+
+// ------------------------------------------------------------------ hooks
+
+// ThreadSpawn implements interp.Sanitizer.
+func (s *Sanitizer) ThreadSpawn(parent, child int) {
+	s.syncOps++
+	s.thread(child)
+	if parent < 0 {
+		return
+	}
+	s.thread(parent)
+	joinVC(&s.clocks[child], s.clocks[parent])
+	joinVC(&s.fclocks[child], s.fclocks[parent])
+	// Advance the parent past the fork so the child is ordered after the
+	// parent's pre-fork effects but concurrent with its post-fork ones.
+	s.clocks[parent][parent]++
+	s.fclocks[parent][parent]++
+}
+
+// ThreadJoin implements interp.Sanitizer.
+func (s *Sanitizer) ThreadJoin(waiter, target int) {
+	s.syncOps++
+	s.thread(waiter)
+	s.thread(target)
+	joinVC(&s.clocks[waiter], s.clocks[target])
+	joinVC(&s.fclocks[waiter], s.fclocks[target])
+}
+
+// LockRequest implements interp.Sanitizer: a blocking acquisition attempt.
+// Lock-order edges are recorded here as well as on success so that a run
+// dying inside an actual deadlock still carries both cycle edges.
+func (s *Sanitizer) LockRequest(tid int, addr mir.Word, timed bool, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	s.recordEdges(tid, addr, timed, pos)
+}
+
+// LockAcquire implements interp.Sanitizer.
+func (s *Sanitizer) LockAcquire(tid int, addr mir.Word, timed bool, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	if rel := s.lockRel[addr]; rel != nil {
+		joinVC(&s.clocks[tid], rel)
+	}
+	s.recordEdges(tid, addr, timed, pos)
+	s.held[tid] = append(s.held[tid], heldLock{addr: addr, timed: timed, pos: pos})
+}
+
+// LockRelease implements interp.Sanitizer. Covers both regular unlocks and
+// rollback's compensation releases.
+func (s *Sanitizer) LockRelease(tid int, addr mir.Word) {
+	s.syncOps++
+	s.thread(tid)
+	s.lockRel[addr] = append(s.lockRel[addr][:0], s.clocks[tid]...)
+	s.clocks[tid][tid]++
+	hs := s.held[tid]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].addr == addr {
+			s.held[tid] = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Sanitizer) recordEdges(tid int, addr mir.Word, timed bool, pos mir.Pos) {
+	hs := s.held[tid]
+	if len(hs) == 0 {
+		return
+	}
+	for _, h := range hs {
+		if h.addr == addr {
+			continue
+		}
+		k := edgeKey{from: h.addr, to: addr, tid: tid}
+		if _, dup := s.edgeSeen[k]; dup {
+			continue
+		}
+		s.edgeSeen[k] = struct{}{}
+		heldAt := make([]mir.Word, len(hs))
+		for i, hh := range hs {
+			heldAt[i] = hh.addr
+		}
+		s.edges = append(s.edges, lockEdge{
+			from: h.addr, to: addr, tid: tid,
+			timed:   timed || h.timed,
+			fvc:     append([]int64(nil), s.fclocks[tid]...),
+			heldAt:  heldAt,
+			fromPos: h.pos, toPos: pos,
+		})
+	}
+}
+
+// Access implements interp.Sanitizer.
+func (s *Sanitizer) Access(tid int, addr mir.Word, write bool, pos mir.Pos) {
+	s.accesses++
+	s.thread(tid)
+	c := s.shadow[addr]
+	if c == nil {
+		c = &cell{}
+		s.shadow[addr] = c
+	}
+	vc := s.clocks[tid]
+	if write {
+		if c.hasW && c.w.tid != tid && c.w.clk > at(vc, c.w.tid) {
+			s.race(KindWriteWrite, addr, c.w, true, epoch{tid: tid, clk: vc[tid], pos: pos}, true)
+		}
+		for _, r := range c.reads {
+			if r.tid != tid && r.clk > at(vc, r.tid) {
+				s.race(KindReadWrite, addr, r, false, epoch{tid: tid, clk: vc[tid], pos: pos}, true)
+			}
+		}
+		c.w = epoch{tid: tid, clk: vc[tid], pos: pos}
+		c.hasW = true
+		c.reads = c.reads[:0]
+		return
+	}
+	if c.hasW && c.w.tid != tid && c.w.clk > at(vc, c.w.tid) {
+		s.race(KindReadWrite, addr, c.w, true, epoch{tid: tid, clk: vc[tid], pos: pos}, false)
+	}
+	for i := range c.reads {
+		if c.reads[i].tid == tid {
+			c.reads[i] = epoch{tid: tid, clk: vc[tid], pos: pos}
+			return
+		}
+	}
+	c.reads = append(c.reads, epoch{tid: tid, clk: vc[tid], pos: pos})
+}
+
+// ----------------------------------------------------------------- finish
+
+// Finish runs end-of-trace analyses (the deadlock predictor) and freezes
+// the report list. Reports calls it implicitly; calling it twice is a
+// no-op.
+func (s *Sanitizer) Finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	for i := range s.edges {
+		for j := i + 1; j < len(s.edges); j++ {
+			e1, e2 := &s.edges[i], &s.edges[j]
+			if e1.to != e2.from || e2.to != e1.from || e1.tid == e2.tid {
+				continue
+			}
+			if e1.timed || e2.timed {
+				continue // a timed acquisition self-resolves; no deadlock
+			}
+			// Fork/join ordering is schedule-independent: if one edge
+			// must happen before the other, no schedule interleaves them.
+			if !concurrent(e1.fvc, e2.fvc) {
+				continue
+			}
+			if gated(e1, e2) {
+				continue
+			}
+			s.deadlock(e1, e2)
+		}
+	}
+}
+
+// gated reports whether a common gate lock (held by both threads, distinct
+// from the inverted pair) serializes the two acquisition sequences.
+func gated(e1, e2 *lockEdge) bool {
+	for _, a := range e1.heldAt {
+		if a == e1.from || a == e1.to {
+			continue
+		}
+		for _, b := range e2.heldAt {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reports returns the report list, finishing the analysis first.
+func (s *Sanitizer) Reports() []Report {
+	s.Finish()
+	return s.reports
+}
+
+// Truncated reports how many reports were dropped past MaxReports.
+func (s *Sanitizer) Truncated() int64 { return s.truncated }
+
+// Accesses returns the number of shadow-checked memory accesses.
+func (s *Sanitizer) Accesses() int64 { return s.accesses }
+
+// SyncOps returns the number of synchronization events observed.
+func (s *Sanitizer) SyncOps() int64 { return s.syncOps }
