@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"conair/internal/experiments"
 	"conair/internal/report"
@@ -55,7 +57,39 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON document with table data and throughput (runs/sec, steps/sec)")
 	progress := flag.Bool("progress", true, "print per-section progress (runs, runs/sec) to stderr")
 	metrics := flag.Bool("metrics", false, "dump the full metrics registry to stderr after the run (and into -json output)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	if *quick {
 		// Explicitly-set flags win over -quick's bundle.

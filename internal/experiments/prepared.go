@@ -5,6 +5,7 @@ import (
 
 	"conair/internal/bugs"
 	"conair/internal/core"
+	"conair/internal/interp"
 	"conair/internal/mir"
 	"conair/internal/runner"
 )
@@ -80,6 +81,17 @@ func (p *preparedBug) build() {
 	p.forcedSurv = mustHarden(p.forced, hardenOpts())
 	p.cleanFix = mustHarden(p.clean, core.FixOptions(cPos))
 	p.cleanSurv = mustHarden(p.clean, hardenOpts())
+
+	// Warm the interpreter's compiled-program cache while we hold this
+	// bug's once: sweeps then start from a hit instead of racing worker
+	// goroutines through the first compile of each variant.
+	for _, m := range []*mir.Module{
+		p.forced, p.forcedFull, p.clean, p.lightClean,
+		p.forcedFix.Module, p.forcedSurv.Module,
+		p.cleanFix.Module, p.cleanSurv.Module,
+	} {
+		interp.Compile(m)
+	}
 }
 
 // expMaxSteps is the step cutoff shared by all experiment runs (matches

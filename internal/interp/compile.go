@@ -1,0 +1,359 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"conair/internal/mir"
+)
+
+// This file is the ahead-of-time compilation stage between mir.Module and
+// the VM. Each function is lowered exactly once into a flat code array of
+// pre-resolved instructions (cinstr):
+//
+//   - jump targets are absolute flat indices ("pc") instead of
+//     (block, index) pairs, so branches are a single assignment;
+//   - operands are pre-bound to a register slot or an immediate, removing
+//     the per-step eval() kind switch (OperandNone lowers to immediate 0,
+//     matching eval's historical behaviour);
+//   - every cinstr carries its precomputed mir.Pos, so the failure,
+//     sanitizer and trace paths never reconstruct positions;
+//   - the dominant instruction pairs observed in the golden sweep are fused
+//     into super-instructions (const+bin, bin+br, loadg+br) that the run
+//     loop executes without re-entering the dispatch path.
+//
+// Fusion never changes observable behaviour: the scheduler consumes one
+// decision per executed instruction (sched.Random draws its RNG on every
+// Pick), so a fused pair still performs the full inter-instruction
+// scheduling step between its two micro-ops, and bails out to the unfused
+// second instruction — which always exists at pc+1, because lowering maps
+// source instructions 1:1 onto code slots and fusion only rewrites the
+// first slot of a pair — whenever the scheduler picks another thread.
+
+// cop enumerates compiled opcodes. cBin* split by operand shape so the hot
+// arithmetic path loads registers without per-operand branches; a bin with
+// two immediate operands is constant-folded to cConst at compile time.
+type cop uint8
+
+const (
+	cConst cop = iota
+	cBinRR     // dst = regs[a] <bin> regs[b]
+	cBinRI     // dst = regs[a] <bin> bImm
+	cBinIR     // dst = aImm <bin> regs[b]
+	cLoadG
+	cStoreG
+	cAddrG
+	cLoad
+	cStore
+	cLoadS
+	cStoreS
+	cAlloc
+	cFree
+	cLock
+	cTimedLock
+	cUnlock
+	cCall
+	cSpawn
+	cJoin
+	cOutput
+	cAssert
+	cYield
+	cSleep
+	cSleepRand
+	cNop
+	cCheckpoint
+	cRollback
+	cFail
+	cBr
+	cJmp
+	cRet
+	cUnimpl // unknown source opcode; fails at execution time like exec did
+
+	// Fused super-instructions. Each occupies the first slot of its source
+	// pair; the second slot keeps the unfused tail as the bail-out target.
+	cFusedConstBin // const dst,aImm ; then x2 = regs[y2] <bin> (regs[z2] | bImm)
+	cFusedBinBr    // bin (generic operands) ; then br on regs[x2] to thenPC/elsePC
+	cFusedLoadGBr  // loadg dst,aux ; then br on regs[x2] to thenPC/elsePC
+)
+
+// carg is a pre-resolved call/spawn argument: a register slot, or an
+// immediate when reg is negative.
+type carg struct {
+	reg int32
+	imm mir.Word
+}
+
+// cinstr is one compiled instruction. Which fields are meaningful depends
+// on op; field use mirrors mir.Instr with operands pre-bound:
+//
+//	aReg/aImm, bReg/bImm — generic operands (reg slot, or imm when reg < 0);
+//	                       aImm doubles as the const value (cConst), the
+//	                       rollback retry bound (cRollback); bImm doubles as
+//	                       the timedlock timeout (cTimedLock);
+//	aux                  — global, slot or callee index;
+//	thenPC/elsePC        — absolute flat branch targets;
+//	site                 — failure-site id (for fused ops: the branch's);
+//	x2/y2/z2, bin        — fused-tail payload (see the cop comments);
+//	pos                  — this instruction's source position, precomputed.
+type cinstr struct {
+	op    cop
+	bin   mir.BinOp
+	akind mir.AssertKind
+	fkind mir.FailKind
+
+	dst    int32
+	aReg   int32
+	bReg   int32
+	aux    int32
+	thenPC int32
+	elsePC int32
+	site   int32
+	x2     int32
+	y2     int32
+	z2     int32
+
+	aImm mir.Word
+	bImm mir.Word
+
+	pos  mir.Pos
+	args []carg
+	text string
+}
+
+// a resolves the first generic operand against fr.
+func (in *cinstr) a(fr *frame) mir.Word {
+	if in.aReg >= 0 {
+		return fr.regs[in.aReg]
+	}
+	return in.aImm
+}
+
+// b resolves the second generic operand against fr.
+func (in *cinstr) b(fr *frame) mir.Word {
+	if in.bReg >= 0 {
+		return fr.regs[in.bReg]
+	}
+	return in.bImm
+}
+
+// fcode is one compiled function: its flat code stream plus the flat offset
+// of each source block (blockStart[b] is the pc of block b's first
+// instruction).
+type fcode struct {
+	code       []cinstr
+	blockStart []int32
+}
+
+// Program is a compiled module: one fcode per function, in function order.
+// A Program is immutable after Compile and safe to share across VMs.
+type Program struct {
+	mod   *mir.Module
+	funcs []fcode
+}
+
+var (
+	progMu    sync.Mutex
+	progCache = map[*mir.Module]*Program{}
+)
+
+// progCacheMax bounds the compiled-program cache. Eviction clears the whole
+// cache: entries are keyed by module pointer, so there is no meaningful
+// recency order to preserve, and steady-state workloads (the prepared-bug
+// cache, mirgen sweeps) stay far below the bound anyway.
+const progCacheMax = 1024
+
+// Compile lowers the module to its flat compiled form, memoizing by module
+// pointer. Callers must treat a module as immutable once it has been
+// compiled or run — the rest of the repository already does (transform
+// Clones before rewriting; bugs and mirgen build fresh modules).
+func Compile(mod *mir.Module) *Program {
+	progMu.Lock()
+	p := progCache[mod]
+	if p == nil {
+		if len(progCache) >= progCacheMax {
+			clear(progCache)
+		}
+		p = compileModule(mod)
+		progCache[mod] = p
+	}
+	progMu.Unlock()
+	return p
+}
+
+func compileModule(mod *mir.Module) *Program {
+	p := &Program{mod: mod, funcs: make([]fcode, len(mod.Functions))}
+	for fi := range mod.Functions {
+		p.funcs[fi] = compileFunc(mod, fi)
+	}
+	return p
+}
+
+// lowerOperand pre-binds one operand: a register slot index, or -1 plus an
+// immediate. OperandNone becomes immediate 0, exactly what eval returned.
+func lowerOperand(o mir.Operand) (int32, mir.Word) {
+	switch o.Kind {
+	case mir.OperandReg:
+		return int32(o.Reg), 0
+	case mir.OperandImm:
+		return -1, o.Imm
+	}
+	return -1, 0
+}
+
+func compileFunc(mod *mir.Module, fi int) fcode {
+	f := &mod.Functions[fi]
+	offs := f.BlockOffsets()
+	code := make([]cinstr, 0, f.NumInstrs())
+	for b := range f.Blocks {
+		for i := range f.Blocks[b].Instrs {
+			code = append(code, lower(&f.Blocks[b].Instrs[i],
+				mir.Pos{Fn: fi, Block: b, Index: i}, offs))
+		}
+	}
+	fc := fcode{code: code, blockStart: offs}
+	fuseFunc(&fc, f)
+	return fc
+}
+
+// lower translates one source instruction at pos into its compiled form.
+func lower(in *mir.Instr, pos mir.Pos, offs []int32) cinstr {
+	c := cinstr{
+		dst:  int32(in.Dst),
+		site: int32(in.Site),
+		pos:  pos,
+		text: in.Text,
+	}
+	c.aReg, c.aImm = lowerOperand(in.A)
+	c.bReg, c.bImm = lowerOperand(in.B)
+
+	switch in.Op {
+	case mir.OpConst:
+		c.op, c.aImm, c.aReg = cConst, in.Imm, -1
+	case mir.OpBin:
+		c.bin = in.Bin
+		switch {
+		case c.aReg >= 0 && c.bReg >= 0:
+			c.op = cBinRR
+		case c.aReg >= 0:
+			c.op = cBinRI
+		case c.bReg >= 0:
+			c.op = cBinIR
+		default:
+			// Both operands immediate: fold at compile time.
+			c.op, c.aImm, c.bImm = cConst, in.Bin.Eval(c.aImm, c.bImm), 0
+		}
+	case mir.OpLoadG:
+		c.op, c.aux = cLoadG, int32(in.Global)
+	case mir.OpStoreG:
+		c.op, c.aux = cStoreG, int32(in.Global)
+	case mir.OpAddrG:
+		c.op, c.aux = cAddrG, int32(in.Global)
+	case mir.OpLoad:
+		c.op = cLoad
+	case mir.OpStore:
+		c.op = cStore
+	case mir.OpLoadS:
+		c.op, c.aux = cLoadS, int32(in.Slot)
+	case mir.OpStoreS:
+		c.op, c.aux = cStoreS, int32(in.Slot)
+	case mir.OpAlloc:
+		c.op = cAlloc
+	case mir.OpFree:
+		c.op = cFree
+	case mir.OpLock:
+		c.op = cLock
+	case mir.OpTimedLock:
+		c.op, c.bReg, c.bImm = cTimedLock, -1, mir.Word(in.Timeout)
+	case mir.OpUnlock:
+		c.op = cUnlock
+	case mir.OpCall:
+		c.op, c.aux, c.args = cCall, int32(in.Callee), lowerArgs(in.Args)
+	case mir.OpSpawn:
+		c.op, c.aux, c.args = cSpawn, int32(in.Callee), lowerArgs(in.Args)
+	case mir.OpJoin:
+		c.op = cJoin
+	case mir.OpOutput:
+		c.op = cOutput
+	case mir.OpAssert:
+		c.op, c.akind = cAssert, in.AssertKind
+	case mir.OpYield:
+		c.op = cYield
+	case mir.OpSleep:
+		c.op = cSleep
+	case mir.OpSleepRand:
+		c.op = cSleepRand
+	case mir.OpNop:
+		c.op = cNop
+	case mir.OpCheckpoint:
+		c.op = cCheckpoint
+	case mir.OpRollback:
+		c.op, c.aImm, c.aReg = cRollback, in.MaxRetry, -1
+	case mir.OpFail:
+		c.op, c.fkind = cFail, in.FailKind
+	case mir.OpBr:
+		c.op, c.thenPC, c.elsePC = cBr, offs[in.Then], offs[in.Else]
+	case mir.OpJmp:
+		c.op, c.thenPC = cJmp, offs[in.Then]
+	case mir.OpRet:
+		c.op = cRet
+	default:
+		c.op = cUnimpl
+		c.text = fmt.Sprintf("unimplemented op %v", in.Op)
+	}
+	return c
+}
+
+func lowerArgs(args []mir.Operand) []carg {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]carg, len(args))
+	for i, a := range args {
+		out[i].reg, out[i].imm = lowerOperand(a)
+	}
+	return out
+}
+
+// fuseFunc rewrites the dominant instruction pairs into super-instructions.
+// Pairs are matched left-to-right within each source block (a fused pair
+// never spans a block boundary: control can enter the tail slot directly).
+// Only the head slot is rewritten; the tail keeps its unfused form so a
+// mid-pair thread switch, single-stepping or tracing can execute it alone.
+// Left-to-right rewriting over still-plain tails makes chains consistent:
+// every head leaves the pc at the next source slot, where the (possibly
+// itself fused) successor executes normally.
+func fuseFunc(fc *fcode, f *mir.Function) {
+	for b := range f.Blocks {
+		start := int(fc.blockStart[b])
+		n := len(f.Blocks[b].Instrs)
+		for i := start; i < start+n-1; i++ {
+			head := fc.code[i] // copy: the rewrite reads the plain head
+			tail := &fc.code[i+1]
+			switch {
+			case head.op == cConst && (tail.op == cBinRR || tail.op == cBinRI):
+				head.op = cFusedConstBin
+				head.bin = tail.bin
+				head.x2, head.y2 = tail.dst, tail.aReg
+				if tail.op == cBinRR {
+					head.z2 = tail.bReg
+				} else {
+					head.z2, head.bImm = -1, tail.bImm
+				}
+				fc.code[i] = head
+			case (head.op == cBinRR || head.op == cBinRI || head.op == cBinIR) &&
+				tail.op == cBr && tail.aReg >= 0:
+				head.op = cFusedBinBr
+				head.x2 = tail.aReg
+				head.thenPC, head.elsePC = tail.thenPC, tail.elsePC
+				head.site = tail.site // the branch's failure site, not the bin's
+				fc.code[i] = head
+			case head.op == cLoadG && tail.op == cBr && tail.aReg >= 0:
+				head.op = cFusedLoadGBr
+				head.x2 = tail.aReg
+				head.thenPC, head.elsePC = tail.thenPC, tail.elsePC
+				head.site = tail.site
+				fc.code[i] = head
+			}
+		}
+	}
+}

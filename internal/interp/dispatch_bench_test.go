@@ -1,0 +1,201 @@
+package interp_test
+
+import (
+	"runtime"
+	"testing"
+
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// Micro-benchmarks for the compiled dispatch loop. Each benchmark executes
+// one full run of a fixed-work program per iteration, so ns/op tracks the
+// end-to-end per-run cost (compile is cached after the first iteration)
+// and the reported steps/op stays constant across changes — regressions
+// show up purely in time, not in work.
+
+// dispatchSrc is a tight arithmetic countdown: the loop body is exactly
+// the fusion-dominant shape (bin, bin, cmp+br) the sweep hot path runs.
+const dispatchSrc = `
+func main() {
+entry:
+  %i = const 100000
+  jmp loop
+loop:
+  %i2 = sub %i, 1
+  %i = add %i2, 0
+  %c = gt %i, 0
+  br %c, loop, done
+done:
+  ret 0
+}`
+
+// callHeavySrc pays a call+ret per loop iteration — the frame push/pop and
+// code-pointer refetch path.
+const callHeavySrc = `
+func work(%x) {
+entry:
+  %y = add %x, 1
+  ret %y
+}
+
+func main() {
+entry:
+  %i = const 40000
+  jmp loop
+loop:
+  %j = call work(%i)
+  %i = sub %j, 2
+  %c = gt %i, 0
+  br %c, loop, done
+done:
+  ret 0
+}`
+
+// heapLoadStoreSrc hammers the flat heap: a store+load pair per iteration.
+const heapLoadStoreSrc = `
+func main() {
+entry:
+  %i = const 40000
+  %p = alloc 4
+  jmp loop
+loop:
+  store %p, %i
+  %v = load %p
+  %i = sub %v, 1
+  %c = gt %i, 0
+  br %c, loop, done
+done:
+  free %p
+  ret 0
+}`
+
+func benchModule(b *testing.B, src string) *mir.Module {
+	b.Helper()
+	m, err := mir.Parse(src)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func benchRun(b *testing.B, src string) {
+	b.Helper()
+	m := benchModule(b, src)
+	var steps int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := interp.RunModule(m, interp.Config{
+			Sched: sched.NewRandom(1), MaxSteps: 10_000_000,
+		})
+		if !r.Completed {
+			b.Fatalf("run failed: %+v", r.Failure)
+		}
+		steps = r.Stats.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+}
+
+func BenchmarkDispatch(b *testing.B)      { benchRun(b, dispatchSrc) }
+func BenchmarkCallHeavy(b *testing.B)     { benchRun(b, callHeavySrc) }
+func BenchmarkHeapLoadStore(b *testing.B) { benchRun(b, heapLoadStoreSrc) }
+
+// The Reference variants run the same programs through RunReference — the
+// pre-compilation execution path kept for differential testing — so the
+// compiled loop's speedup is measurable from one binary:
+//
+//	go test ./internal/interp -bench 'Dispatch|CallHeavy|HeapLoadStore'
+func benchRunRef(b *testing.B, src string) {
+	b.Helper()
+	m := benchModule(b, src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := interp.RunReference(m, interp.Config{
+			Sched: sched.NewRandom(1), MaxSteps: 10_000_000,
+		})
+		if !r.Completed {
+			b.Fatalf("run failed: %+v", r.Failure)
+		}
+	}
+}
+
+func BenchmarkDispatchReference(b *testing.B)      { benchRunRef(b, dispatchSrc) }
+func BenchmarkCallHeavyReference(b *testing.B)     { benchRunRef(b, callHeavySrc) }
+func BenchmarkHeapLoadStoreReference(b *testing.B) { benchRunRef(b, heapLoadStoreSrc) }
+
+// runMallocs returns the number of heap allocations one run of m with the
+// given step budget performs.
+func runMallocs(m *mir.Module, maxSteps int64) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	interp.RunModule(m, interp.Config{Sched: sched.NewRandom(1), MaxSteps: maxSteps})
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestDispatchSteadyStateZeroAllocs is the allocation-regression guard for
+// the hot loop: the marginal allocation cost of executing more steps must
+// be zero. Each run pays a constant setup (VM, threads, result); comparing
+// a short and a long run of the same non-terminating program cancels that
+// constant, so any per-step allocation — however small — fails the guard.
+func TestDispatchSteadyStateZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"arithmetic", `
+func main() {
+entry:
+  %i = const 1
+  jmp loop
+loop:
+  %j = add %i, 1
+  %i = sub %j, 1
+  %c = gt %i, 0
+  br %c, loop, loop
+}`},
+		// Calls recycle frames through the freelist, so even the
+		// call-heavy loop must reach a zero-allocation steady state.
+		{"call-heavy", `
+func work(%x) {
+entry:
+  %y = add %x, 1
+  ret %y
+}
+
+func main() {
+entry:
+  %i = const 1
+  jmp loop
+loop:
+  %j = call work(%i)
+  %i = sub %j, 1
+  %c = gt %i, 0
+  br %c, loop, loop
+}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := mir.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			interp.Compile(m) // warm the program cache outside the measurement
+
+			short := runMallocs(m, 100_000)
+			long := runMallocs(m, 400_000)
+			// Identical setup on both runs; 300k extra steps must allocate
+			// nothing. A little slack absorbs runtime-internal noise (GC
+			// bookkeeping in ReadMemStats itself).
+			const slack = 8
+			if long > short+slack {
+				t.Fatalf("dispatch loop allocates in steady state: %d mallocs for 100k steps, %d for 400k (marginal %d)",
+					short, long, long-short)
+			}
+		})
+	}
+}

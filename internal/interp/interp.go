@@ -12,6 +12,7 @@ import (
 // VM executes one MIR module run. Create with New, drive with Run.
 type VM struct {
 	mod  *mir.Module
+	prog *Program
 	cfg  Config
 	mem  *memory
 	lcks *locks
@@ -37,6 +38,12 @@ type VM struct {
 	// san mirrors cfg.Sanitizer under the same nil-check contract as sink.
 	san Sanitizer
 
+	// rnd is cfg.Sched devirtualized: non-nil when the scheduler is the
+	// default *sched.Random, letting the per-step pick call the concrete
+	// Intn (which draws bit-identically to Pick — see sched.Random) instead
+	// of dispatching through the Scheduler interface.
+	rnd *sched.Random
+
 	// live lists the ids of non-done threads in ascending id order, and
 	// waiting counts how many of them are not statusRunnable. Together they
 	// replace the per-step all-threads rescan in pickThread: when waiting
@@ -53,7 +60,8 @@ type VM struct {
 	pools [][][2][]mir.Word
 }
 
-// New prepares a VM for the module. The module must contain a main
+// New prepares a VM for the module, compiling it to the flat code stream
+// (memoized per module — see Compile). The module must contain a main
 // function with no parameters; New panics otherwise (the verifier enforces
 // the signature, so this indicates misuse rather than bad input).
 func New(mod *mir.Module, cfg Config) *VM {
@@ -66,6 +74,7 @@ func New(mod *mir.Module, cfg Config) *VM {
 	}
 	vm := &VM{
 		mod:   mod,
+		prog:  Compile(mod),
 		cfg:   cfg,
 		mem:   newMemory(mod),
 		lcks:  newLocks(),
@@ -73,6 +82,7 @@ func New(mod *mir.Module, cfg Config) *VM {
 		sink:  cfg.Sink,
 		san:   cfg.Sanitizer,
 	}
+	vm.rnd, _ = cfg.Sched.(*sched.Random)
 	vm.mainTID = vm.spawn(mi, nil)
 	if vm.san != nil {
 		vm.san.ThreadSpawn(-1, vm.mainTID)
@@ -172,39 +182,680 @@ func (vm *VM) recycleFrame(fr *frame) {
 	fr.regs, fr.slots = nil, nil
 }
 
-// posOf names the instruction fr is about to execute. It exists so the
-// failure and trace paths can build a mir.Pos on demand instead of exec
-// materializing one on every step.
-func posOf(fr *frame) mir.Pos {
-	return mir.Pos{Fn: fr.fn, Block: fr.block, Index: fr.index}
-}
-
 // Run executes the module to completion, failure, or the step cutoff.
 func (vm *VM) Run() *Result {
-	max := vm.cfg.maxSteps()
-	for !vm.done && vm.failure == nil {
-		if vm.step >= max {
-			vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
-			break
-		}
-		tid, ok := vm.pickThread()
-		if !ok {
-			break // deadlock already reported, or everything exited
-		}
-		if vm.sink != nil {
-			vm.sink.Record(obs.Event{
-				Step: vm.step, Kind: obs.KindSchedPick, TID: int32(tid),
-			})
-		}
-		vm.exec(vm.threads[tid])
-		vm.step++
-	}
+	vm.runLoop(vm.cfg.maxSteps(), false)
 	return vm.result()
 }
 
 // RunModule is a convenience one-shot runner.
 func RunModule(mod *mir.Module, cfg Config) *Result {
 	return New(mod, cfg).Run()
+}
+
+// closeEpisode closes any open recovery episode for site on t — the
+// site's failure check passed (or its timed lock was acquired).
+func (vm *VM) closeEpisode(t *thread, site int) {
+	if e := t.endEpisode(site, vm.step); e != nil {
+		vm.stats.Episodes = append(vm.stats.Episodes, *e)
+		if vm.sink != nil {
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindEpisodeEnd,
+				TID: int32(t.id), Site: int32(site), Arg: e.Retries,
+			})
+		}
+	}
+}
+
+// runLoop is the dispatch loop over the compiled code stream: a tight
+// program-counter walk, with the current thread's frame and code array
+// cached across steps and refreshed only on thread switch, call, return
+// and rollback. It executes until the run ends or (in single mode) one
+// instruction retires, and reports whether any instruction executed.
+//
+// Determinism contract: exactly one scheduler Pick (and one KindSchedPick
+// sink event) precedes every executed instruction — sched.Random consumes
+// an RNG draw per Pick, so schedules would shift if fusion elided one.
+// Fused super-instructions therefore run the full inter-instruction
+// sequence (step++, limit check, Pick, sink) between their two micro-ops,
+// and jump back to dispatch when the scheduler picks another thread: the
+// unfused tail at pc+1 executes later, exactly as if never fused. Fusion
+// is disabled in single mode (StepOnce means one instruction) and under
+// Trace (one trace line per instruction).
+func (vm *VM) runLoop(max int64, single bool) bool {
+	fuse := !single && vm.cfg.Trace == nil
+	executed := false
+	tid := -1
+	var (
+		t    *thread
+		fr   *frame
+		code []cinstr
+	)
+	for {
+		if vm.done || vm.failure != nil {
+			return executed
+		}
+		if vm.step >= max {
+			vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+			return executed
+		}
+		// Inlined pick fast path: every thread runnable under the default
+		// random scheduler. Same draw arithmetic (and draw count) as
+		// pickThread → Intn, minus two call frames per instruction.
+		var ntid int
+		if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
+			n := int32(len(vm.live))
+			v := vm.rnd.Int31()
+			if n&(n-1) == 0 {
+				v &= n - 1
+			} else {
+				v = vm.rnd.IntnTail(v, n)
+			}
+			ntid = vm.live[v]
+		} else {
+			var ok bool
+			ntid, ok = vm.pickThread()
+			if !ok {
+				return executed // deadlock already reported, or everything exited
+			}
+		}
+		if vm.sink != nil {
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindSchedPick, TID: int32(ntid),
+			})
+		}
+		if ntid != tid {
+			tid = ntid
+			t = vm.threads[tid]
+			fr = t.top()
+			code = vm.prog.funcs[fr.fn].code
+		}
+
+	dispatch:
+		in := &code[fr.pc]
+
+		if vm.cfg.Trace != nil {
+			// The precomputed in.pos addresses the source instruction
+			// directly: no per-step position reconstruction.
+			fmt.Fprintf(vm.cfg.Trace, "step=%d tid=%d pos=%s %s\n",
+				vm.step, t.id, in.pos,
+				mir.FormatInstr(vm.mod, &vm.mod.Functions[in.pos.Fn], vm.mod.At(in.pos)))
+		}
+
+		switch in.op {
+		case cConst:
+			fr.regs[in.dst] = in.aImm
+			fr.pc++
+
+		case cBinRR:
+			fr.regs[in.dst] = in.bin.Eval(fr.regs[in.aReg], fr.regs[in.bReg])
+			fr.pc++
+
+		case cBinRI:
+			fr.regs[in.dst] = in.bin.Eval(fr.regs[in.aReg], in.bImm)
+			fr.pc++
+
+		case cBinIR:
+			fr.regs[in.dst] = in.bin.Eval(in.aImm, fr.regs[in.bReg])
+			fr.pc++
+
+		case cLoadG:
+			fr.regs[in.dst] = vm.mem.globals[in.aux]
+			if vm.san != nil {
+				vm.san.Access(t.id, globalAddr(int(in.aux)), false, in.pos)
+			}
+			fr.pc++
+
+		case cStoreG:
+			vm.mem.globals[in.aux] = in.a(fr)
+			if vm.san != nil {
+				vm.san.Access(t.id, globalAddr(int(in.aux)), true, in.pos)
+			}
+			fr.pc++
+
+		case cAddrG:
+			fr.regs[in.dst] = globalAddr(int(in.aux))
+			fr.pc++
+
+		case cLoad:
+			addr := in.a(fr)
+			v, ok := vm.mem.load(addr)
+			if !ok {
+				vm.fail(mir.FailSegfault, in.pos, int(in.site), t.id,
+					fmt.Sprintf("invalid read at address %d", addr))
+				break
+			}
+			fr.regs[in.dst] = v
+			if vm.san != nil {
+				vm.san.Access(t.id, addr, false, in.pos)
+			}
+			fr.pc++
+
+		case cStore:
+			addr := in.a(fr)
+			if !vm.mem.store(addr, in.b(fr)) {
+				vm.fail(mir.FailSegfault, in.pos, int(in.site), t.id,
+					fmt.Sprintf("invalid write at address %d", addr))
+				break
+			}
+			if vm.san != nil {
+				vm.san.Access(t.id, addr, true, in.pos)
+			}
+			fr.pc++
+
+		case cLoadS:
+			fr.regs[in.dst] = fr.slots[in.aux]
+			fr.pc++
+
+		case cStoreS:
+			fr.slots[in.aux] = in.a(fr)
+			fr.pc++
+
+		case cAlloc:
+			addr := vm.mem.alloc(in.a(fr))
+			fr.regs[in.dst] = addr
+			if t.jmp != nil {
+				t.pushComp(compAlloc, addr)
+			}
+			fr.pc++
+
+		case cFree:
+			vm.mem.free(in.a(fr))
+			fr.pc++
+
+		case cLock:
+			addr := in.a(fr)
+			mu := vm.lcks.get(addr)
+			switch {
+			case !mu.held:
+				mu.held, mu.holder = true, t.id
+				vm.setStatus(t, statusRunnable)
+				if t.jmp != nil {
+					t.pushComp(compLock, addr)
+				}
+				if vm.sink != nil {
+					vm.sink.Record(obs.Event{
+						Step: vm.step, Kind: obs.KindLockAcquire,
+						TID: int32(t.id), Site: in.site, Arg: int64(addr),
+					})
+				}
+				if vm.san != nil {
+					vm.san.LockAcquire(t.id, addr, false, in.pos)
+				}
+				fr.pc++
+			case mu.holder == t.id && t.status != statusBlockedLock:
+				vm.fail(mir.FailHang, in.pos, int(in.site), t.id,
+					fmt.Sprintf("self-deadlock on lock %d", addr))
+			default:
+				if t.status != statusBlockedLock {
+					if vm.san != nil {
+						// Record the lock request before the wait-for-cycle
+						// check below: an actual deadlock fails the run right
+						// here, and the predictor needs this edge.
+						vm.san.LockRequest(t.id, addr, false, in.pos)
+					}
+					vm.setStatus(t, statusBlockedLock)
+					t.blockAddr = addr
+					t.blockedSince = vm.step
+					t.blockTimeout = 0
+					if !vm.cfg.NoDeadlockCycles {
+						if cycle := vm.deadlockCycle(t); cycle != nil {
+							vm.fail(mir.FailHang, in.pos, int(in.site), t.id,
+								fmt.Sprintf("deadlock: wait-for cycle among threads %v", cycle))
+						}
+					}
+				}
+			}
+
+		case cTimedLock:
+			addr := in.a(fr)
+			mu := vm.lcks.get(addr)
+			selfHeld := mu.held && mu.holder == t.id && t.status != statusBlockedLock
+			waiting := t.status == statusBlockedLock
+			expired := waiting && vm.step-t.blockedSince >= t.blockTimeout
+			switch {
+			case !mu.held:
+				mu.held, mu.holder = true, t.id
+				vm.setStatus(t, statusRunnable)
+				fr.regs[in.dst] = 1
+				if t.jmp != nil {
+					t.pushComp(compLock, addr)
+				}
+				if vm.sink != nil {
+					vm.sink.Record(obs.Event{
+						Step: vm.step, Kind: obs.KindLockAcquire,
+						TID: int32(t.id), Site: in.site, Arg: int64(addr),
+					})
+				}
+				if vm.san != nil {
+					vm.san.LockAcquire(t.id, addr, true, in.pos)
+				}
+				if in.site > 0 {
+					vm.closeEpisode(t, int(in.site))
+				}
+				fr.pc++
+			case selfHeld || expired:
+				// Self-acquisition would never succeed; treat it as an
+				// immediate timeout. An expired wait reports timeout too.
+				vm.setStatus(t, statusRunnable)
+				fr.regs[in.dst] = 0
+				if vm.sink != nil {
+					vm.sink.Record(obs.Event{
+						Step: vm.step, Kind: obs.KindLockTimeout,
+						TID: int32(t.id), Site: in.site, Arg: int64(addr),
+					})
+				}
+				fr.pc++
+			default:
+				if !waiting {
+					if vm.san != nil {
+						vm.san.LockRequest(t.id, addr, true, in.pos)
+					}
+					vm.setStatus(t, statusBlockedLock)
+					t.blockAddr = addr
+					t.blockedSince = vm.step
+					t.blockTimeout = in.bImm
+				}
+			}
+
+		case cUnlock:
+			addr := in.a(fr)
+			mu := vm.lcks.get(addr)
+			if mu.held && mu.holder == t.id {
+				mu.held = false
+				if vm.san != nil {
+					vm.san.LockRelease(t.id, addr)
+				}
+			}
+			// Unlocking a lock we do not hold is undefined in pthreads; the
+			// interpreter ignores it, as the analyses never generate it.
+			fr.pc++
+
+		case cCall:
+			nfr := vm.newFrame(int(in.aux), int(in.dst))
+			for i := range in.args {
+				a := &in.args[i]
+				if a.reg >= 0 {
+					nfr.regs[i] = fr.regs[a.reg]
+				} else {
+					nfr.regs[i] = a.imm
+				}
+			}
+			// Advance the caller past the call before pushing, so the return
+			// resumes at the next instruction.
+			fr.pc++
+			t.frames = append(t.frames, nfr)
+			fr = t.top()
+			code = vm.prog.funcs[fr.fn].code
+
+		case cSpawn:
+			if len(vm.threads) >= vm.cfg.maxThreads() {
+				vm.fail(mir.FailHang, in.pos, 0, t.id, "thread limit exceeded")
+				break
+			}
+			args := make([]mir.Word, len(in.args))
+			for i := range in.args {
+				a := &in.args[i]
+				if a.reg >= 0 {
+					args[i] = fr.regs[a.reg]
+				} else {
+					args[i] = a.imm
+				}
+			}
+			fr.regs[in.dst] = mir.Word(vm.spawn(int(in.aux), args))
+			if vm.san != nil {
+				vm.san.ThreadSpawn(t.id, int(fr.regs[in.dst]))
+			}
+			fr.pc++
+
+		case cJoin:
+			target := int(in.a(fr))
+			tt := vm.threadByID(target)
+			if tt != nil && tt.status != statusDone {
+				vm.setStatus(t, statusBlockedJoin)
+				t.joinTarget = target
+			} else {
+				if vm.san != nil {
+					// The waiter proceeds past the join: the target's effects
+					// now happen-before everything the waiter does next.
+					vm.san.ThreadJoin(t.id, target)
+				}
+				fr.pc++
+			}
+
+		case cOutput:
+			if vm.cfg.CollectOutput {
+				vm.output = append(vm.output, OutputEvent{
+					Text: in.text, Value: in.a(fr), Thread: t.id, Step: vm.step,
+				})
+			}
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindOutput,
+					TID: int32(t.id), Arg: int64(in.a(fr)), Text: in.text,
+				})
+			}
+			fr.pc++
+
+		case cAssert:
+			if in.a(fr) == 0 {
+				kind := mir.FailAssert
+				if in.akind == mir.AssertOracle {
+					kind = mir.FailWrongOutput
+				}
+				vm.fail(kind, in.pos, int(in.site), t.id, in.text)
+				break
+			}
+			fr.pc++
+
+		case cYield:
+			// Scheduler hint only; costs one step.
+			fr.pc++
+
+		case cSleep:
+			d := in.a(fr)
+			if d > 0 {
+				vm.setStatus(t, statusSleeping)
+				t.wakeAt = vm.step + d
+			}
+			fr.pc++
+
+		case cSleepRand:
+			n := in.a(fr)
+			if n > 0 {
+				d := mir.Word(vm.cfg.Sched.Intn(int(n) + 1))
+				if d > 0 {
+					vm.setStatus(t, statusSleeping)
+					t.wakeAt = vm.step + d
+				}
+			}
+			fr.pc++
+
+		case cNop:
+			fr.pc++
+
+		case cCheckpoint:
+			t.regionCtr++
+			jb := t.jmp
+			if jb == nil || cap(jb.regs) < len(fr.regs) {
+				jb = &jmpbuf{regs: make([]mir.Word, len(fr.regs))}
+				t.jmp = jb
+			}
+			jb.regs = jb.regs[:len(fr.regs)]
+			copy(jb.regs, fr.regs)
+			jb.frameDepth = len(t.frames) - 1
+			jb.pc = fr.pc + 1
+			jb.regionCtr = t.regionCtr
+			vm.stats.Checkpoints++
+			if vm.stats.CheckpointExecs == nil {
+				vm.stats.CheckpointExecs = map[int]int64{}
+			}
+			vm.stats.CheckpointExecs[int(in.site)]++
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindCheckpoint,
+					TID: int32(t.id), Site: in.site,
+				})
+			}
+			fr.pc++
+
+		case cRollback:
+			site := int(in.site)
+			if t.jmp != nil && t.jmp.frameDepth < len(t.frames) &&
+				t.retryCount(site) < in.aImm {
+				t.bumpRetry(site)
+				e := t.beginEpisode(site, vm.step)
+				if vm.sink != nil {
+					if e.Retries == 1 {
+						vm.sink.Record(obs.Event{
+							Step: vm.step, Kind: obs.KindEpisodeBegin,
+							TID: int32(t.id), Site: in.site,
+						})
+					}
+					vm.sink.Record(obs.Event{
+						Step: vm.step, Kind: obs.KindRollback,
+						TID: int32(t.id), Site: in.site, Arg: e.Retries,
+					})
+				}
+				vm.rollback(t)
+				vm.stats.Rollbacks++
+				fr = t.top()
+				code = vm.prog.funcs[fr.fn].code
+				break
+			}
+			// No active checkpoint or retries exhausted: fall through to the
+			// real failure (the instruction after the rollback).
+			fr.pc++
+
+		case cFail:
+			vm.fail(in.fkind, in.pos, int(in.site), t.id, in.text)
+
+		case cBr:
+			c := in.a(fr)
+			if in.site > 0 && c != 0 {
+				// Site-tagged branches are transformed failure checks with
+				// the convention Then = pass, Else = recover. Passing closes
+				// any open recovery episode for the site.
+				vm.closeEpisode(t, int(in.site))
+			}
+			if c != 0 {
+				fr.pc = int(in.thenPC)
+			} else {
+				fr.pc = int(in.elsePC)
+			}
+
+		case cJmp:
+			fr.pc = int(in.thenPC)
+
+		case cRet:
+			ret := in.a(fr)
+			t.frames = t.frames[:len(t.frames)-1]
+			vm.recycleFrame(fr)
+			// Returning out of the checkpoint's frame invalidates it, exactly
+			// like returning from the function that called setjmp.
+			if t.jmp != nil && t.jmp.frameDepth >= len(t.frames) {
+				t.jmp = nil
+			}
+			if len(t.frames) == 0 {
+				vm.setStatus(t, statusDone)
+				t.result = ret
+				if vm.sink != nil {
+					vm.sink.Record(obs.Event{
+						Step: vm.step, Kind: obs.KindThreadExit,
+						TID: int32(t.id), Arg: int64(ret),
+					})
+				}
+				if t.id == vm.mainTID {
+					vm.done = true
+					vm.exit = ret
+				}
+				tid = -1 // no frame to resume; force a refetch next pick
+				break
+			}
+			caller := t.top()
+			if fr.retDst >= 0 {
+				caller.regs[fr.retDst] = ret
+			}
+			fr = caller
+			code = vm.prog.funcs[fr.fn].code
+
+		case cFusedConstBin:
+			fr.regs[in.dst] = in.aImm
+			fr.pc++
+			if !fuse {
+				break
+			}
+			// Inter-instruction scheduling step (see the runLoop comment).
+			vm.step++
+			executed = true
+			if vm.step >= max {
+				vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+				return true
+			}
+			var ntid2 int
+			if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
+				n := int32(len(vm.live))
+				v := vm.rnd.Int31()
+				if n&(n-1) == 0 {
+					v &= n - 1
+				} else {
+					v = vm.rnd.IntnTail(v, n)
+				}
+				ntid2 = vm.live[v]
+			} else {
+				var ok bool
+				ntid2, ok = vm.pickThread()
+				if !ok {
+					return true
+				}
+			}
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindSchedPick, TID: int32(ntid2),
+				})
+			}
+			if ntid2 != tid {
+				tid = ntid2
+				t = vm.threads[tid]
+				fr = t.top()
+				code = vm.prog.funcs[fr.fn].code
+				goto dispatch
+			}
+			var y mir.Word
+			if in.z2 >= 0 {
+				y = fr.regs[in.z2]
+			} else {
+				y = in.bImm
+			}
+			fr.regs[in.x2] = in.bin.Eval(fr.regs[in.y2], y)
+			fr.pc++
+
+		case cFusedBinBr:
+			var bx, by mir.Word
+			if in.aReg >= 0 {
+				bx = fr.regs[in.aReg]
+			} else {
+				bx = in.aImm
+			}
+			if in.bReg >= 0 {
+				by = fr.regs[in.bReg]
+			} else {
+				by = in.bImm
+			}
+			fr.regs[in.dst] = in.bin.Eval(bx, by)
+			fr.pc++
+			if !fuse {
+				break
+			}
+			vm.step++
+			executed = true
+			if vm.step >= max {
+				vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+				return true
+			}
+			var ntid3 int
+			if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
+				n := int32(len(vm.live))
+				v := vm.rnd.Int31()
+				if n&(n-1) == 0 {
+					v &= n - 1
+				} else {
+					v = vm.rnd.IntnTail(v, n)
+				}
+				ntid3 = vm.live[v]
+			} else {
+				var ok bool
+				ntid3, ok = vm.pickThread()
+				if !ok {
+					return true
+				}
+			}
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindSchedPick, TID: int32(ntid3),
+				})
+			}
+			if ntid3 != tid {
+				tid = ntid3
+				t = vm.threads[tid]
+				fr = t.top()
+				code = vm.prog.funcs[fr.fn].code
+				goto dispatch
+			}
+			c := fr.regs[in.x2]
+			if in.site > 0 && c != 0 {
+				vm.closeEpisode(t, int(in.site))
+			}
+			if c != 0 {
+				fr.pc = int(in.thenPC)
+			} else {
+				fr.pc = int(in.elsePC)
+			}
+
+		case cFusedLoadGBr:
+			fr.regs[in.dst] = vm.mem.globals[in.aux]
+			if vm.san != nil {
+				vm.san.Access(t.id, globalAddr(int(in.aux)), false, in.pos)
+			}
+			fr.pc++
+			if !fuse {
+				break
+			}
+			vm.step++
+			executed = true
+			if vm.step >= max {
+				vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+				return true
+			}
+			var ntid4 int
+			if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
+				n := int32(len(vm.live))
+				v := vm.rnd.Int31()
+				if n&(n-1) == 0 {
+					v &= n - 1
+				} else {
+					v = vm.rnd.IntnTail(v, n)
+				}
+				ntid4 = vm.live[v]
+			} else {
+				var ok bool
+				ntid4, ok = vm.pickThread()
+				if !ok {
+					return true
+				}
+			}
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindSchedPick, TID: int32(ntid4),
+				})
+			}
+			if ntid4 != tid {
+				tid = ntid4
+				t = vm.threads[tid]
+				fr = t.top()
+				code = vm.prog.funcs[fr.fn].code
+				goto dispatch
+			}
+			c := fr.regs[in.x2]
+			if in.site > 0 && c != 0 {
+				vm.closeEpisode(t, int(in.site))
+			}
+			if c != 0 {
+				fr.pc = int(in.thenPC)
+			} else {
+				fr.pc = int(in.elsePC)
+			}
+
+		default: // cUnimpl
+			vm.fail(mir.FailHang, in.pos, 0, t.id, in.text)
+		}
+
+		vm.step++
+		executed = true
+		if single {
+			return true
+		}
+	}
 }
 
 func (vm *VM) result() *Result {
@@ -276,6 +927,9 @@ func (vm *VM) pickThread() (int, bool) {
 				// happen: main returning sets vm.done.) Treat as end.
 				return 0, false
 			}
+			if vm.rnd != nil {
+				return vm.live[vm.rnd.Intn(len(vm.live))], true
+			}
 			return vm.cfg.Sched.Pick(vm.live, vm.step), true
 		}
 		runnable := vm.runnableBuf[:0]
@@ -324,6 +978,9 @@ func (vm *VM) pickThread() (int, bool) {
 		}
 		vm.runnableBuf = runnable
 		if len(runnable) > 0 {
+			if vm.rnd != nil {
+				return runnable[vm.rnd.Intn(len(runnable))], true
+			}
 			return vm.cfg.Sched.Pick(runnable, vm.step), true
 		}
 		if !anyLive {
@@ -361,413 +1018,6 @@ func (vm *VM) fail(kind mir.FailKind, pos mir.Pos, site, tid int, msg string) {
 	}
 }
 
-// eval resolves an operand against the current frame.
-func eval(fr *frame, o mir.Operand) mir.Word {
-	switch o.Kind {
-	case mir.OperandReg:
-		return fr.regs[o.Reg]
-	case mir.OperandImm:
-		return o.Imm
-	}
-	return 0
-}
-
-// exec runs exactly one instruction of t.
-func (vm *VM) exec(t *thread) {
-	fr := t.top()
-	f := &vm.mod.Functions[fr.fn]
-	in := &f.Blocks[fr.block].Instrs[fr.index]
-	advance := true
-
-	if vm.cfg.Trace != nil {
-		fmt.Fprintf(vm.cfg.Trace, "step=%d tid=%d pos=%s %s\n",
-			vm.step, t.id, posOf(fr), mir.FormatInstr(vm.mod, f, in))
-	}
-
-	switch in.Op {
-	case mir.OpConst:
-		fr.regs[in.Dst] = in.Imm
-
-	case mir.OpBin:
-		fr.regs[in.Dst] = in.Bin.Eval(eval(fr, in.A), eval(fr, in.B))
-		// A site-tagged comparison is the transformed failure check; its
-		// outcome is observed at the branch, handled under OpBr.
-
-	case mir.OpLoadG:
-		fr.regs[in.Dst] = vm.mem.globals[in.Global]
-		if vm.san != nil {
-			vm.san.Access(t.id, globalAddr(in.Global), false, posOf(fr))
-		}
-
-	case mir.OpStoreG:
-		vm.mem.globals[in.Global] = eval(fr, in.A)
-		if vm.san != nil {
-			vm.san.Access(t.id, globalAddr(in.Global), true, posOf(fr))
-		}
-
-	case mir.OpAddrG:
-		fr.regs[in.Dst] = globalAddr(in.Global)
-
-	case mir.OpLoad:
-		addr := eval(fr, in.A)
-		v, ok := vm.mem.load(addr)
-		if !ok {
-			vm.fail(mir.FailSegfault, posOf(fr), in.Site, t.id,
-				fmt.Sprintf("invalid read at address %d", addr))
-			return
-		}
-		fr.regs[in.Dst] = v
-		if vm.san != nil {
-			vm.san.Access(t.id, addr, false, posOf(fr))
-		}
-
-	case mir.OpStore:
-		addr := eval(fr, in.A)
-		if !vm.mem.store(addr, eval(fr, in.B)) {
-			vm.fail(mir.FailSegfault, posOf(fr), in.Site, t.id,
-				fmt.Sprintf("invalid write at address %d", addr))
-			return
-		}
-		if vm.san != nil {
-			vm.san.Access(t.id, addr, true, posOf(fr))
-		}
-
-	case mir.OpLoadS:
-		fr.regs[in.Dst] = fr.slots[in.Slot]
-
-	case mir.OpStoreS:
-		fr.slots[in.Slot] = eval(fr, in.A)
-
-	case mir.OpAlloc:
-		addr := vm.mem.alloc(eval(fr, in.A))
-		fr.regs[in.Dst] = addr
-		if t.jmp != nil {
-			t.pushComp(compAlloc, addr)
-		}
-
-	case mir.OpFree:
-		vm.mem.free(eval(fr, in.A))
-
-	case mir.OpLock:
-		addr := eval(fr, in.A)
-		mu := vm.lcks.get(addr)
-		switch {
-		case !mu.held:
-			mu.held, mu.holder = true, t.id
-			vm.setStatus(t, statusRunnable)
-			if t.jmp != nil {
-				t.pushComp(compLock, addr)
-			}
-			if vm.sink != nil {
-				vm.sink.Record(obs.Event{
-					Step: vm.step, Kind: obs.KindLockAcquire,
-					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
-				})
-			}
-			if vm.san != nil {
-				vm.san.LockAcquire(t.id, addr, false, posOf(fr))
-			}
-		case mu.holder == t.id && t.status != statusBlockedLock:
-			vm.fail(mir.FailHang, posOf(fr), in.Site, t.id,
-				fmt.Sprintf("self-deadlock on lock %d", addr))
-			return
-		default:
-			if t.status != statusBlockedLock {
-				if vm.san != nil {
-					// Record the lock request before the wait-for-cycle
-					// check below: an actual deadlock fails the run right
-					// here, and the predictor needs this edge.
-					vm.san.LockRequest(t.id, addr, false, posOf(fr))
-				}
-				vm.setStatus(t, statusBlockedLock)
-				t.blockAddr = addr
-				t.blockedSince = vm.step
-				t.blockTimeout = 0
-				if !vm.cfg.NoDeadlockCycles {
-					if cycle := vm.deadlockCycle(t); cycle != nil {
-						vm.fail(mir.FailHang, posOf(fr), in.Site, t.id,
-							fmt.Sprintf("deadlock: wait-for cycle among threads %v", cycle))
-						return
-					}
-				}
-			}
-			advance = false
-		}
-
-	case mir.OpTimedLock:
-		addr := eval(fr, in.A)
-		mu := vm.lcks.get(addr)
-		selfHeld := mu.held && mu.holder == t.id && t.status != statusBlockedLock
-		waiting := t.status == statusBlockedLock
-		expired := waiting && vm.step-t.blockedSince >= t.blockTimeout
-		switch {
-		case !mu.held:
-			mu.held, mu.holder = true, t.id
-			vm.setStatus(t, statusRunnable)
-			fr.regs[in.Dst] = 1
-			if t.jmp != nil {
-				t.pushComp(compLock, addr)
-			}
-			if vm.sink != nil {
-				vm.sink.Record(obs.Event{
-					Step: vm.step, Kind: obs.KindLockAcquire,
-					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
-				})
-			}
-			if vm.san != nil {
-				vm.san.LockAcquire(t.id, addr, true, posOf(fr))
-			}
-			if in.Site > 0 {
-				if e := t.endEpisode(in.Site, vm.step); e != nil {
-					vm.stats.Episodes = append(vm.stats.Episodes, *e)
-					if vm.sink != nil {
-						vm.sink.Record(obs.Event{
-							Step: vm.step, Kind: obs.KindEpisodeEnd,
-							TID: int32(t.id), Site: int32(in.Site), Arg: e.Retries,
-						})
-					}
-				}
-			}
-		case selfHeld || expired:
-			// Self-acquisition would never succeed; treat it as an
-			// immediate timeout. An expired wait reports timeout too.
-			vm.setStatus(t, statusRunnable)
-			fr.regs[in.Dst] = 0
-			if vm.sink != nil {
-				vm.sink.Record(obs.Event{
-					Step: vm.step, Kind: obs.KindLockTimeout,
-					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
-				})
-			}
-		default:
-			if !waiting {
-				if vm.san != nil {
-					vm.san.LockRequest(t.id, addr, true, posOf(fr))
-				}
-				vm.setStatus(t, statusBlockedLock)
-				t.blockAddr = addr
-				t.blockedSince = vm.step
-				t.blockTimeout = int64(in.Timeout)
-			}
-			advance = false
-		}
-
-	case mir.OpUnlock:
-		addr := eval(fr, in.A)
-		mu := vm.lcks.get(addr)
-		if mu.held && mu.holder == t.id {
-			mu.held = false
-			if vm.san != nil {
-				vm.san.LockRelease(t.id, addr)
-			}
-		}
-		// Unlocking a lock we do not hold is undefined in pthreads; the
-		// interpreter ignores it, as the analyses never generate it.
-
-	case mir.OpCall:
-		nfr := vm.newFrame(in.Callee, in.Dst)
-		for i, a := range in.Args {
-			nfr.regs[i] = eval(fr, a)
-		}
-		// Advance the caller past the call before pushing, so the return
-		// resumes at the next instruction.
-		fr.index++
-		t.frames = append(t.frames, nfr)
-		return
-
-	case mir.OpSpawn:
-		if len(vm.threads) >= vm.cfg.maxThreads() {
-			vm.fail(mir.FailHang, posOf(fr), 0, t.id, "thread limit exceeded")
-			return
-		}
-		args := make([]mir.Word, len(in.Args))
-		for i, a := range in.Args {
-			args[i] = eval(fr, a)
-		}
-		fr.regs[in.Dst] = mir.Word(vm.spawn(in.Callee, args))
-		if vm.san != nil {
-			vm.san.ThreadSpawn(t.id, int(fr.regs[in.Dst]))
-		}
-
-	case mir.OpJoin:
-		target := int(eval(fr, in.A))
-		tt := vm.threadByID(target)
-		if tt != nil && tt.status != statusDone {
-			vm.setStatus(t, statusBlockedJoin)
-			t.joinTarget = target
-			advance = false
-		} else if vm.san != nil {
-			// The waiter proceeds past the join: the target's effects now
-			// happen-before everything the waiter does next.
-			vm.san.ThreadJoin(t.id, target)
-		}
-
-	case mir.OpOutput:
-		if vm.cfg.CollectOutput {
-			vm.output = append(vm.output, OutputEvent{
-				Text: in.Text, Value: eval(fr, in.A), Thread: t.id, Step: vm.step,
-			})
-		}
-		if vm.sink != nil {
-			vm.sink.Record(obs.Event{
-				Step: vm.step, Kind: obs.KindOutput,
-				TID: int32(t.id), Arg: int64(eval(fr, in.A)), Text: in.Text,
-			})
-		}
-
-	case mir.OpAssert:
-		if eval(fr, in.A) == 0 {
-			kind := mir.FailAssert
-			if in.AssertKind == mir.AssertOracle {
-				kind = mir.FailWrongOutput
-			}
-			vm.fail(kind, posOf(fr), in.Site, t.id, in.Text)
-			return
-		}
-
-	case mir.OpYield:
-		// Scheduler hint only; costs one step.
-
-	case mir.OpSleep:
-		d := eval(fr, in.A)
-		if d > 0 {
-			vm.setStatus(t, statusSleeping)
-			t.wakeAt = vm.step + d
-		}
-
-	case mir.OpSleepRand:
-		n := eval(fr, in.A)
-		if n > 0 {
-			d := mir.Word(vm.cfg.Sched.Intn(int(n) + 1))
-			if d > 0 {
-				vm.setStatus(t, statusSleeping)
-				t.wakeAt = vm.step + d
-			}
-		}
-
-	case mir.OpNop:
-
-	case mir.OpCheckpoint:
-		t.regionCtr++
-		jb := t.jmp
-		if jb == nil || cap(jb.regs) < len(fr.regs) {
-			jb = &jmpbuf{regs: make([]mir.Word, len(fr.regs))}
-			t.jmp = jb
-		}
-		jb.regs = jb.regs[:len(fr.regs)]
-		copy(jb.regs, fr.regs)
-		jb.frameDepth = len(t.frames) - 1
-		jb.block = fr.block
-		jb.index = fr.index + 1
-		jb.regionCtr = t.regionCtr
-		vm.stats.Checkpoints++
-		if vm.stats.CheckpointExecs == nil {
-			vm.stats.CheckpointExecs = map[int]int64{}
-		}
-		vm.stats.CheckpointExecs[in.Site]++
-		if vm.sink != nil {
-			vm.sink.Record(obs.Event{
-				Step: vm.step, Kind: obs.KindCheckpoint,
-				TID: int32(t.id), Site: int32(in.Site),
-			})
-		}
-
-	case mir.OpRollback:
-		site := in.Site
-		if t.jmp != nil && t.jmp.frameDepth < len(t.frames) &&
-			t.retryCount(site) < in.MaxRetry {
-			t.bumpRetry(site)
-			e := t.beginEpisode(site, vm.step)
-			if vm.sink != nil {
-				if e.Retries == 1 {
-					vm.sink.Record(obs.Event{
-						Step: vm.step, Kind: obs.KindEpisodeBegin,
-						TID: int32(t.id), Site: int32(site),
-					})
-				}
-				vm.sink.Record(obs.Event{
-					Step: vm.step, Kind: obs.KindRollback,
-					TID: int32(t.id), Site: int32(site), Arg: e.Retries,
-				})
-			}
-			vm.rollback(t)
-			vm.stats.Rollbacks++
-			return
-		}
-		// No active checkpoint or retries exhausted: fall through to the
-		// real failure (the instruction after the rollback).
-
-	case mir.OpFail:
-		vm.fail(in.FailKind, posOf(fr), in.Site, t.id, in.Text)
-		return
-
-	case mir.OpBr:
-		c := eval(fr, in.A)
-		if in.Site > 0 && c != 0 {
-			// Site-tagged branches are transformed failure checks with the
-			// convention Then = pass, Else = recover. Passing closes any
-			// open recovery episode for the site.
-			if e := t.endEpisode(in.Site, vm.step); e != nil {
-				vm.stats.Episodes = append(vm.stats.Episodes, *e)
-				if vm.sink != nil {
-					vm.sink.Record(obs.Event{
-						Step: vm.step, Kind: obs.KindEpisodeEnd,
-						TID: int32(t.id), Site: int32(in.Site), Arg: e.Retries,
-					})
-				}
-			}
-		}
-		if c != 0 {
-			fr.block, fr.index = in.Then, 0
-		} else {
-			fr.block, fr.index = in.Else, 0
-		}
-		return
-
-	case mir.OpJmp:
-		fr.block, fr.index = in.Then, 0
-		return
-
-	case mir.OpRet:
-		ret := eval(fr, in.A)
-		t.frames = t.frames[:len(t.frames)-1]
-		vm.recycleFrame(fr)
-		// Returning out of the checkpoint's frame invalidates it, exactly
-		// like returning from the function that called setjmp.
-		if t.jmp != nil && t.jmp.frameDepth >= len(t.frames) {
-			t.jmp = nil
-		}
-		if len(t.frames) == 0 {
-			vm.setStatus(t, statusDone)
-			t.result = ret
-			if vm.sink != nil {
-				vm.sink.Record(obs.Event{
-					Step: vm.step, Kind: obs.KindThreadExit,
-					TID: int32(t.id), Arg: int64(ret),
-				})
-			}
-			if t.id == vm.mainTID {
-				vm.done = true
-				vm.exit = ret
-			}
-			return
-		}
-		caller := t.top()
-		if fr.retDst >= 0 {
-			caller.regs[fr.retDst] = ret
-		}
-		return
-
-	default:
-		vm.fail(mir.FailHang, posOf(fr), 0, t.id, fmt.Sprintf("unimplemented op %v", in.Op))
-		return
-	}
-
-	if advance {
-		fr.index++
-	}
-}
-
 // rollback performs the longjmp: compensate region acquisitions, unwind
 // callee frames, restore the checkpoint frame's register image and jump to
 // the instruction after the checkpoint.
@@ -795,5 +1045,5 @@ func (vm *VM) rollback(t *thread) {
 	t.frames = t.frames[:jb.frameDepth+1]
 	fr := t.top()
 	copy(fr.regs, jb.regs)
-	fr.block, fr.index = jb.block, jb.index
+	fr.pc = jb.pc
 }

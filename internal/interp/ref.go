@@ -1,0 +1,418 @@
+package interp
+
+import (
+	"fmt"
+
+	"conair/internal/mir"
+	"conair/internal/obs"
+)
+
+// This file preserves the pre-compilation execution path: a switch over the
+// original mir.Instr structs with per-step operand resolution through eval,
+// exactly as the interpreter worked before the ahead-of-time compile stage.
+// It exists for differential testing — RunReference must produce results
+// bit-identical to Run on every module — and uses the compiled stream only
+// for what lowering is trusted least about: the pc↔position mapping
+// (cinstr.pos) and the flat branch targets (fcode.blockStart), both of
+// which the differential sweep therefore exercises against the original
+// instruction semantics.
+
+// RunReference executes the module with the reference (pre-compilation)
+// interpreter. It is deliberately slow; production callers use Run.
+func RunReference(mod *mir.Module, cfg Config) *Result {
+	vm := New(mod, cfg)
+	max := vm.cfg.maxSteps()
+	for !vm.done && vm.failure == nil {
+		if vm.step >= max {
+			vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+			break
+		}
+		tid, ok := vm.pickThread()
+		if !ok {
+			break
+		}
+		if vm.sink != nil {
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindSchedPick, TID: int32(tid),
+			})
+		}
+		vm.refExec(vm.threads[tid])
+		vm.step++
+	}
+	return vm.result()
+}
+
+// eval resolves an operand against the current frame.
+func eval(fr *frame, o mir.Operand) mir.Word {
+	switch o.Kind {
+	case mir.OperandReg:
+		return fr.regs[o.Reg]
+	case mir.OperandImm:
+		return o.Imm
+	}
+	return 0
+}
+
+// refExec runs exactly one instruction of t, dispatching on the original
+// source instruction. Branch targets go through blockStart; everything
+// else is the historical exec body unchanged.
+func (vm *VM) refExec(t *thread) {
+	fr := t.top()
+	fc := &vm.prog.funcs[fr.fn]
+	pos := fc.code[fr.pc].pos
+	f := &vm.mod.Functions[pos.Fn]
+	in := &f.Blocks[pos.Block].Instrs[pos.Index]
+	advance := true
+
+	if vm.cfg.Trace != nil {
+		fmt.Fprintf(vm.cfg.Trace, "step=%d tid=%d pos=%s %s\n",
+			vm.step, t.id, pos, mir.FormatInstr(vm.mod, f, in))
+	}
+
+	switch in.Op {
+	case mir.OpConst:
+		fr.regs[in.Dst] = in.Imm
+
+	case mir.OpBin:
+		fr.regs[in.Dst] = in.Bin.Eval(eval(fr, in.A), eval(fr, in.B))
+		// A site-tagged comparison is the transformed failure check; its
+		// outcome is observed at the branch, handled under OpBr.
+
+	case mir.OpLoadG:
+		fr.regs[in.Dst] = vm.mem.globals[in.Global]
+		if vm.san != nil {
+			vm.san.Access(t.id, globalAddr(in.Global), false, pos)
+		}
+
+	case mir.OpStoreG:
+		vm.mem.globals[in.Global] = eval(fr, in.A)
+		if vm.san != nil {
+			vm.san.Access(t.id, globalAddr(in.Global), true, pos)
+		}
+
+	case mir.OpAddrG:
+		fr.regs[in.Dst] = globalAddr(in.Global)
+
+	case mir.OpLoad:
+		addr := eval(fr, in.A)
+		v, ok := vm.mem.load(addr)
+		if !ok {
+			vm.fail(mir.FailSegfault, pos, in.Site, t.id,
+				fmt.Sprintf("invalid read at address %d", addr))
+			return
+		}
+		fr.regs[in.Dst] = v
+		if vm.san != nil {
+			vm.san.Access(t.id, addr, false, pos)
+		}
+
+	case mir.OpStore:
+		addr := eval(fr, in.A)
+		if !vm.mem.store(addr, eval(fr, in.B)) {
+			vm.fail(mir.FailSegfault, pos, in.Site, t.id,
+				fmt.Sprintf("invalid write at address %d", addr))
+			return
+		}
+		if vm.san != nil {
+			vm.san.Access(t.id, addr, true, pos)
+		}
+
+	case mir.OpLoadS:
+		fr.regs[in.Dst] = fr.slots[in.Slot]
+
+	case mir.OpStoreS:
+		fr.slots[in.Slot] = eval(fr, in.A)
+
+	case mir.OpAlloc:
+		addr := vm.mem.alloc(eval(fr, in.A))
+		fr.regs[in.Dst] = addr
+		if t.jmp != nil {
+			t.pushComp(compAlloc, addr)
+		}
+
+	case mir.OpFree:
+		vm.mem.free(eval(fr, in.A))
+
+	case mir.OpLock:
+		addr := eval(fr, in.A)
+		mu := vm.lcks.get(addr)
+		switch {
+		case !mu.held:
+			mu.held, mu.holder = true, t.id
+			vm.setStatus(t, statusRunnable)
+			if t.jmp != nil {
+				t.pushComp(compLock, addr)
+			}
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindLockAcquire,
+					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
+				})
+			}
+			if vm.san != nil {
+				vm.san.LockAcquire(t.id, addr, false, pos)
+			}
+		case mu.holder == t.id && t.status != statusBlockedLock:
+			vm.fail(mir.FailHang, pos, in.Site, t.id,
+				fmt.Sprintf("self-deadlock on lock %d", addr))
+			return
+		default:
+			if t.status != statusBlockedLock {
+				if vm.san != nil {
+					vm.san.LockRequest(t.id, addr, false, pos)
+				}
+				vm.setStatus(t, statusBlockedLock)
+				t.blockAddr = addr
+				t.blockedSince = vm.step
+				t.blockTimeout = 0
+				if !vm.cfg.NoDeadlockCycles {
+					if cycle := vm.deadlockCycle(t); cycle != nil {
+						vm.fail(mir.FailHang, pos, in.Site, t.id,
+							fmt.Sprintf("deadlock: wait-for cycle among threads %v", cycle))
+						return
+					}
+				}
+			}
+			advance = false
+		}
+
+	case mir.OpTimedLock:
+		addr := eval(fr, in.A)
+		mu := vm.lcks.get(addr)
+		selfHeld := mu.held && mu.holder == t.id && t.status != statusBlockedLock
+		waiting := t.status == statusBlockedLock
+		expired := waiting && vm.step-t.blockedSince >= t.blockTimeout
+		switch {
+		case !mu.held:
+			mu.held, mu.holder = true, t.id
+			vm.setStatus(t, statusRunnable)
+			fr.regs[in.Dst] = 1
+			if t.jmp != nil {
+				t.pushComp(compLock, addr)
+			}
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindLockAcquire,
+					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
+				})
+			}
+			if vm.san != nil {
+				vm.san.LockAcquire(t.id, addr, true, pos)
+			}
+			if in.Site > 0 {
+				vm.closeEpisode(t, in.Site)
+			}
+		case selfHeld || expired:
+			vm.setStatus(t, statusRunnable)
+			fr.regs[in.Dst] = 0
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindLockTimeout,
+					TID: int32(t.id), Site: int32(in.Site), Arg: int64(addr),
+				})
+			}
+		default:
+			if !waiting {
+				if vm.san != nil {
+					vm.san.LockRequest(t.id, addr, true, pos)
+				}
+				vm.setStatus(t, statusBlockedLock)
+				t.blockAddr = addr
+				t.blockedSince = vm.step
+				t.blockTimeout = int64(in.Timeout)
+			}
+			advance = false
+		}
+
+	case mir.OpUnlock:
+		addr := eval(fr, in.A)
+		mu := vm.lcks.get(addr)
+		if mu.held && mu.holder == t.id {
+			mu.held = false
+			if vm.san != nil {
+				vm.san.LockRelease(t.id, addr)
+			}
+		}
+
+	case mir.OpCall:
+		nfr := vm.newFrame(in.Callee, in.Dst)
+		for i, a := range in.Args {
+			nfr.regs[i] = eval(fr, a)
+		}
+		fr.pc++
+		t.frames = append(t.frames, nfr)
+		return
+
+	case mir.OpSpawn:
+		if len(vm.threads) >= vm.cfg.maxThreads() {
+			vm.fail(mir.FailHang, pos, 0, t.id, "thread limit exceeded")
+			return
+		}
+		args := make([]mir.Word, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = eval(fr, a)
+		}
+		fr.regs[in.Dst] = mir.Word(vm.spawn(in.Callee, args))
+		if vm.san != nil {
+			vm.san.ThreadSpawn(t.id, int(fr.regs[in.Dst]))
+		}
+
+	case mir.OpJoin:
+		target := int(eval(fr, in.A))
+		tt := vm.threadByID(target)
+		if tt != nil && tt.status != statusDone {
+			vm.setStatus(t, statusBlockedJoin)
+			t.joinTarget = target
+			advance = false
+		} else if vm.san != nil {
+			vm.san.ThreadJoin(t.id, target)
+		}
+
+	case mir.OpOutput:
+		if vm.cfg.CollectOutput {
+			vm.output = append(vm.output, OutputEvent{
+				Text: in.Text, Value: eval(fr, in.A), Thread: t.id, Step: vm.step,
+			})
+		}
+		if vm.sink != nil {
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindOutput,
+				TID: int32(t.id), Arg: int64(eval(fr, in.A)), Text: in.Text,
+			})
+		}
+
+	case mir.OpAssert:
+		if eval(fr, in.A) == 0 {
+			kind := mir.FailAssert
+			if in.AssertKind == mir.AssertOracle {
+				kind = mir.FailWrongOutput
+			}
+			vm.fail(kind, pos, in.Site, t.id, in.Text)
+			return
+		}
+
+	case mir.OpYield:
+
+	case mir.OpSleep:
+		d := eval(fr, in.A)
+		if d > 0 {
+			vm.setStatus(t, statusSleeping)
+			t.wakeAt = vm.step + d
+		}
+
+	case mir.OpSleepRand:
+		n := eval(fr, in.A)
+		if n > 0 {
+			d := mir.Word(vm.cfg.Sched.Intn(int(n) + 1))
+			if d > 0 {
+				vm.setStatus(t, statusSleeping)
+				t.wakeAt = vm.step + d
+			}
+		}
+
+	case mir.OpNop:
+
+	case mir.OpCheckpoint:
+		t.regionCtr++
+		jb := t.jmp
+		if jb == nil || cap(jb.regs) < len(fr.regs) {
+			jb = &jmpbuf{regs: make([]mir.Word, len(fr.regs))}
+			t.jmp = jb
+		}
+		jb.regs = jb.regs[:len(fr.regs)]
+		copy(jb.regs, fr.regs)
+		jb.frameDepth = len(t.frames) - 1
+		jb.pc = fr.pc + 1
+		jb.regionCtr = t.regionCtr
+		vm.stats.Checkpoints++
+		if vm.stats.CheckpointExecs == nil {
+			vm.stats.CheckpointExecs = map[int]int64{}
+		}
+		vm.stats.CheckpointExecs[in.Site]++
+		if vm.sink != nil {
+			vm.sink.Record(obs.Event{
+				Step: vm.step, Kind: obs.KindCheckpoint,
+				TID: int32(t.id), Site: int32(in.Site),
+			})
+		}
+
+	case mir.OpRollback:
+		site := in.Site
+		if t.jmp != nil && t.jmp.frameDepth < len(t.frames) &&
+			t.retryCount(site) < in.MaxRetry {
+			t.bumpRetry(site)
+			e := t.beginEpisode(site, vm.step)
+			if vm.sink != nil {
+				if e.Retries == 1 {
+					vm.sink.Record(obs.Event{
+						Step: vm.step, Kind: obs.KindEpisodeBegin,
+						TID: int32(t.id), Site: int32(site),
+					})
+				}
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindRollback,
+					TID: int32(t.id), Site: int32(site), Arg: e.Retries,
+				})
+			}
+			vm.rollback(t)
+			vm.stats.Rollbacks++
+			return
+		}
+
+	case mir.OpFail:
+		vm.fail(in.FailKind, pos, in.Site, t.id, in.Text)
+		return
+
+	case mir.OpBr:
+		c := eval(fr, in.A)
+		if in.Site > 0 && c != 0 {
+			vm.closeEpisode(t, in.Site)
+		}
+		if c != 0 {
+			fr.pc = int(fc.blockStart[in.Then])
+		} else {
+			fr.pc = int(fc.blockStart[in.Else])
+		}
+		return
+
+	case mir.OpJmp:
+		fr.pc = int(fc.blockStart[in.Then])
+		return
+
+	case mir.OpRet:
+		ret := eval(fr, in.A)
+		t.frames = t.frames[:len(t.frames)-1]
+		vm.recycleFrame(fr)
+		if t.jmp != nil && t.jmp.frameDepth >= len(t.frames) {
+			t.jmp = nil
+		}
+		if len(t.frames) == 0 {
+			vm.setStatus(t, statusDone)
+			t.result = ret
+			if vm.sink != nil {
+				vm.sink.Record(obs.Event{
+					Step: vm.step, Kind: obs.KindThreadExit,
+					TID: int32(t.id), Arg: int64(ret),
+				})
+			}
+			if t.id == vm.mainTID {
+				vm.done = true
+				vm.exit = ret
+			}
+			return
+		}
+		caller := t.top()
+		if fr.retDst >= 0 {
+			caller.regs[fr.retDst] = ret
+		}
+		return
+
+	default:
+		vm.fail(mir.FailHang, pos, 0, t.id, fmt.Sprintf("unimplemented op %v", in.Op))
+		return
+	}
+
+	if advance {
+		fr.pc++
+	}
+}

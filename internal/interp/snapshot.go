@@ -2,7 +2,6 @@ package interp
 
 import (
 	"conair/internal/mir"
-	"conair/internal/obs"
 )
 
 // This file exposes the stepping and whole-state snapshot hooks used by
@@ -14,26 +13,12 @@ import (
 // StepOnce executes one scheduling decision plus one instruction. It
 // returns false once the run has ended (completion, failure, or nothing
 // left to schedule). Mixing StepOnce with Run is not supported.
+//
+// Single-stepping runs the same compiled dispatch loop as Run with fusion
+// disabled, so exactly one instruction retires per call — the fused slot's
+// tail executes on the next call.
 func (vm *VM) StepOnce() bool {
-	if vm.done || vm.failure != nil {
-		return false
-	}
-	if vm.step >= vm.cfg.maxSteps() {
-		vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
-		return false
-	}
-	tid, ok := vm.pickThread()
-	if !ok {
-		return false
-	}
-	if vm.sink != nil {
-		vm.sink.Record(obs.Event{
-			Step: vm.step, Kind: obs.KindSchedPick, TID: int32(tid),
-		})
-	}
-	vm.exec(vm.threads[tid])
-	vm.step++
-	return true
+	return vm.runLoop(vm.cfg.maxSteps(), true)
 }
 
 // Finish builds the result after StepOnce-driven execution.

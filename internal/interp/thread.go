@@ -14,25 +14,25 @@ const (
 )
 
 // frame is one activation record: the register image plus stack slots and
-// the program counter within a function.
+// the program counter within a function. pc is a flat index into the
+// function's compiled code stream (see compile.go); pc 0 is the first
+// instruction of the entry block, so the zero value starts at the top.
 type frame struct {
 	fn     int
 	regs   []mir.Word
 	slots  []mir.Word
-	block  int
-	index  int
+	pc     int
 	retDst int // destination register in the caller, -1 for none
 }
 
 // jmpbuf is the thread-local jump buffer written by checkpoint and read by
 // rollback — the stand-in for the paper's setjmp register image. It records
 // which frame the checkpoint executed in (so inter-procedural rollback can
-// unwind callee frames), the program counter just past the checkpoint, and
-// a copy of the frame's virtual registers.
+// unwind callee frames), the flat program counter just past the checkpoint,
+// and a copy of the frame's virtual registers.
 type jmpbuf struct {
 	frameDepth int
-	block      int
-	index      int
+	pc         int
 	regs       []mir.Word
 	regionCtr  int64
 }

@@ -1,0 +1,45 @@
+package mir
+
+// Read-only lowering helpers for ahead-of-time compilers over MIR (the
+// interpreter's flat code stream in internal/interp/compile.go). A
+// function's flattened form is the concatenation of its blocks' instruction
+// slices in block order; a flat index ("pc") addresses one instruction the
+// same way a (block, index) pair does.
+
+// NumInstrs counts the instructions in the function — the length of its
+// flattened instruction stream.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for i := range f.Blocks {
+		n += len(f.Blocks[i].Instrs)
+	}
+	return n
+}
+
+// BlockOffsets returns, for each block, the flat index of its first
+// instruction in the function's flattened instruction stream. The offset of
+// block b plus an instruction's index within b is the instruction's flat
+// position; branch targets lower to BlockOffsets()[target].
+func (f *Function) BlockOffsets() []int32 {
+	offs := make([]int32, len(f.Blocks))
+	pc := int32(0)
+	for i := range f.Blocks {
+		offs[i] = pc
+		pc += int32(len(f.Blocks[i].Instrs))
+	}
+	return offs
+}
+
+// FlatPos maps a flat instruction index back to its (function, block,
+// index) position. fn is the function's index in its module; pc must be in
+// [0, NumInstrs()).
+func (f *Function) FlatPos(fn int, pc int) Pos {
+	for b := range f.Blocks {
+		n := len(f.Blocks[b].Instrs)
+		if pc < n {
+			return Pos{Fn: fn, Block: b, Index: pc}
+		}
+		pc -= n
+	}
+	panic("mir: flat index out of range")
+}

@@ -27,20 +27,58 @@ type Scheduler interface {
 // Random schedules uniformly at random among runnable threads.
 type Random struct {
 	rng *rand.Rand
+	// src is the same source rng wraps. The interpreter consumes one draw
+	// per executed instruction, so Intn below re-derives math/rand's Intn
+	// arithmetic directly over the source — one interface call per draw
+	// instead of the Rand.Intn→Int31n→Int31→Int63 wrapper chain — while
+	// producing the bit-identical value stream (pinned by TestRandomIntn
+	// MatchesMathRand and the golden experiment fingerprints).
+	src rand.Source
 }
 
 // NewRandom returns a seeded random scheduler.
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &Random{rng: rand.New(src), src: src}
 }
 
 // Pick implements Scheduler.
 func (r *Random) Pick(runnable []int, _ int64) int {
-	return runnable[r.rng.Intn(len(runnable))]
+	return runnable[r.Intn(len(runnable))]
 }
 
-// Intn implements Scheduler.
-func (r *Random) Intn(n int) int { return r.rng.Intn(n) }
+// Intn implements Scheduler. The value (and the number of draws consumed
+// from the source) is exactly what math/rand.(*Rand).Intn would produce:
+// one Int31 draw, masked when n is a power of two, otherwise the standard
+// modulo-rejection loop.
+func (r *Random) Intn(n int) int {
+	if n <= 0 || n > 1<<31-1 {
+		return r.rng.Intn(n) // out of the fast range; also panics on n <= 0
+	}
+	n32 := int32(n)
+	v := r.Int31()
+	if n32&(n32-1) == 0 {
+		return int(v & (n32 - 1))
+	}
+	return int(r.IntnTail(v, n32))
+}
+
+// Int31 returns the next raw draw, identical to math/rand.(*Rand).Int31.
+// It is small enough to inline, so hot callers (the interpreter's
+// scheduling loop) can split Intn into an inlined draw plus a rarely
+// needed IntnTail call instead of paying a full call per instruction.
+func (r *Random) Int31() int32 { return int32(r.src.Int63() >> 32) }
+
+// IntnTail completes a non-power-of-two Intn given the first draw v from
+// Int31: math/rand's modulo-rejection arithmetic, consuming further draws
+// only in the (rare) rejection case.
+func (r *Random) IntnTail(v, n int32) int32 {
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	for v > max {
+		v = int32(r.src.Int63() >> 32)
+	}
+	return v % n
+}
 
 // Name implements Scheduler.
 func (r *Random) Name() string { return "random" }
