@@ -36,7 +36,7 @@ type benchDoc struct {
 type benchConfig struct {
 	Runs          int  `json:"runs"`
 	OverheadSeeds int  `json:"overheadSeeds"`
-	Workers       int  `json:"workers"` // 0 = GOMAXPROCS
+	Workers       int  `json:"workers"` // effective pool size (GOMAXPROCS when not set)
 	Quick         bool `json:"quick"`
 	All           bool `json:"all"`
 }

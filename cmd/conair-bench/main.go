@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 
 	"conair/internal/experiments"
@@ -51,7 +52,7 @@ func main() {
 	runs := flag.Int("runs", paperRuns, "forced-failure runs per mode for Table 3 (paper: 1000)")
 	overheadSeeds := flag.Int("overhead-seeds", paperSeeds, "scheduler seeds overhead is averaged over (paper: 20 runs)")
 	quick := flag.Bool("quick", false, fmt.Sprintf("fast settings: -runs %d -overhead-seeds %d (unless set explicitly)", quickRuns, quickSeeds))
-	workers := flag.Int("workers", 0, "parallel-engine worker count (0 = GOMAXPROCS; results are identical at any count)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel-engine worker count (results are identical at any count)")
 	all := flag.Bool("all", false, "regenerate everything")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON document with table data and throughput (runs/sec, steps/sec)")
@@ -102,8 +103,19 @@ func main() {
 			*overheadSeeds = quickSeeds
 		}
 	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	// The bench is a short-lived batch process on a machine with ample
+	// memory: trading heap headroom for fewer GC cycles is a straight win
+	// (the sweep allocates heavily in hardening and module cloning).
+	debug.SetGCPercent(800)
 	experiments.SetWorkers(*workers)
 	progressOn = *progress
+	// The header records the effective worker count (the -json config block
+	// captures the same value), so BENCH_*.json snapshots are attributable.
+	fmt.Fprintf(os.Stderr, "conair-bench: %d worker(s), GOMAXPROCS=%d, %s\n",
+		*workers, runtime.GOMAXPROCS(0), runtime.Version())
 	if *csvOut {
 		emit = func(t *report.Table) { fmt.Print(t.CSV()) }
 	}

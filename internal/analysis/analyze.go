@@ -145,6 +145,7 @@ func Analyze(m *mir.Module, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("analysis: unknown mode %d", opts.Mode)
 	}
 
+	res.Sites = make([]SiteAnalysis, 0, len(sites))
 	for _, s := range sites {
 		if opts.PruneSafeSites && s.Kind == SiteSegfault && ProvablySafeDeref(m, s.Pos) {
 			res.SafePrunedSites++

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"math/bits"
 	"sort"
 
 	"conair/internal/mir"
@@ -44,26 +45,75 @@ func (s *Slice) CriticalParams(f *mir.Function) []int {
 	return out
 }
 
-// regSet is a small register-index set.
-type regSet map[int]bool
+// regSet is a register-index bitset. Register indices are bounded by the
+// owning function's NumRegs, so one or two machine words cover typical
+// functions and every set operation is a handful of word ops — ComputeSlice
+// clones and unions these per instruction per fixpoint sweep, which made
+// the previous map-based representation the hottest allocation site in
+// whole-module hardening.
+type regSet []uint64
 
-func (s regSet) clone() regSet {
-	c := make(regSet, len(s))
-	for k := range s {
-		c[k] = true
-	}
-	return c
+func newRegSet(nregs int) regSet { return make(regSet, (nregs+64)/64) }
+
+func (s regSet) has(k int) bool {
+	w := k >> 6
+	return w < len(s) && s[w]&(1<<uint(k&63)) != 0
 }
 
-func (s regSet) addAll(o regSet) bool {
+func (s *regSet) add(k int) {
+	w := k >> 6
+	for len(*s) <= w {
+		*s = append(*s, 0)
+	}
+	(*s)[w] |= 1 << uint(k&63)
+}
+
+func (s regSet) remove(k int) {
+	if w := k >> 6; w < len(s) {
+		s[w] &^= 1 << uint(k&63)
+	}
+}
+
+// reset clears the set in place, keeping its capacity.
+func (s regSet) reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// copyFrom makes s an exact copy of o (s must be at least as wide).
+func (s regSet) copyFrom(o regSet) {
+	n := copy(s, o)
+	for i := n; i < len(s); i++ {
+		s[i] = 0
+	}
+}
+
+// addAll unions o into s, reporting whether s gained any element.
+func (s *regSet) addAll(o regSet) bool {
+	for len(*s) < len(o) {
+		*s = append(*s, 0)
+	}
 	changed := false
-	for k := range o {
-		if !s[k] {
-			s[k] = true
+	for i, w := range o {
+		if nw := (*s)[i] | w; nw != (*s)[i] {
+			(*s)[i] = nw
 			changed = true
 		}
 	}
 	return changed
+}
+
+// elems returns the set's elements in ascending order.
+func (s regSet) elems() []int {
+	var out []int
+	for i, w := range s {
+		for w != 0 {
+			out = append(out, i*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
 }
 
 // ComputeSlice runs the backward slice for the site of region r, seeded by
@@ -84,101 +134,145 @@ func (s regSet) addAll(o regSet) bool {
 // address registers) remain tracked, following pointer chains backward.
 func ComputeSlice(m *mir.Module, r *Region, seedRegs []int) Slice {
 	f := &m.Functions[r.Site.Pos.Fn]
-	members := r.memberSet()
 
-	// need[pos] = registers needed before executing pos.
-	need := map[mir.Pos]regSet{}
-	onSlice := map[mir.Pos]bool{}
-	sharedReads := map[mir.Pos]bool{}
+	// All dataflow state is indexed by a member's rank in position order:
+	// the region is a small subset of one function, so sets sized by the
+	// member count (not the function's instruction count) keep ComputeSlice
+	// allocation-light — it runs once per site per harden. Membership tests
+	// binary-search the sorted flat pcs.
+	offs := f.BlockOffsets()
+	flat := func(p mir.Pos) int { return int(offs[p.Block]) + p.Index }
 
-	seed := regSet{}
+	asc := append([]mir.Pos(nil), r.Members...)
+	sort.Slice(asc, func(i, j int) bool { return asc[i].Less(asc[j]) })
+	pcs := make([]int32, len(asc))
+	for i, p := range asc {
+		pcs[i] = int32(flat(p))
+	}
+	// idxOf returns the member rank of the instruction at flat pc, or -1.
+	idxOf := func(pc int) int {
+		lo, hi := 0, len(pcs)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if int(pcs[mid]) < pc {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(pcs) && int(pcs[lo]) == pc {
+			return lo
+		}
+		return -1
+	}
+
+	seed := newRegSet(f.NumRegs())
 	if seedRegs == nil {
 		site := m.At(r.Site.Pos)
 		for _, u := range site.Uses(nil) {
-			seed[u] = true
+			seed.add(u)
 		}
 	} else {
 		for _, u := range seedRegs {
-			seed[u] = true
+			seed.add(u)
 		}
 	}
-
-	// Region-successor need: for a member position p, the need-after set
-	// is the union of need(q) over the positions q that execute right
-	// after p and are in the region (or are the site itself).
 	siteNeed := seed
 
-	needAfter := func(p mir.Pos) regSet {
-		out := regSet{}
-		blk := &f.Blocks[p.Block]
+	// The fixpoint sweeps members in reverse position order — regions are
+	// small, so a simple round-robin sweep converges quickly. Successors
+	// never change across sweeps: precompute, per member, the member ranks
+	// whose need sets feed its need-after union (the site's seed is flagged
+	// separately since siteNeed is not stored in need[]).
+	type succInfo struct {
+		in   *mir.Instr
+		idx  int     // this member's rank
+		site bool    // some successor is the site itself
+		sidx []int32 // member ranks of in-region successors
+	}
+	succs := make([]succInfo, len(asc))
+	for k := range succs {
+		idx := len(asc) - 1 - k // sweep order: highest position first
+		p := asc[idx]
+		si := &succs[k]
+		si.in = m.At(p)
+		si.idx = idx
 		collect := func(q mir.Pos) {
 			if q == r.Site.Pos {
-				out.addAll(siteNeed)
-				return
-			}
-			if members[q] {
-				out.addAll(need[q])
+				si.site = true
+			} else if qi := idxOf(flat(q)); qi >= 0 {
+				si.sidx = append(si.sidx, int32(qi))
 			}
 		}
-		if p.Index+1 < len(blk.Instrs) {
+		if si.in.Op.IsTerminator() {
+			// Successors are the first positions of successor blocks.
+			switch si.in.Op {
+			case mir.OpBr:
+				collect(mir.Pos{Fn: p.Fn, Block: si.in.Then, Index: 0})
+				collect(mir.Pos{Fn: p.Fn, Block: si.in.Else, Index: 0})
+			case mir.OpJmp:
+				collect(mir.Pos{Fn: p.Fn, Block: si.in.Then, Index: 0})
+			}
+		} else if p.Index+1 < len(f.Blocks[p.Block].Instrs) {
 			collect(mir.Pos{Fn: p.Fn, Block: p.Block, Index: p.Index + 1})
-			return out
 		}
-		return out
 	}
 
-	// Iterate to fixpoint. Regions are small, so a simple round-robin
-	// sweep in reverse position order converges quickly.
-	ordered := append([]mir.Pos(nil), r.Members...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[j].Less(ordered[i]) })
+	// need[i] = registers needed before executing member i. All member
+	// sets share one backing array (full-length three-index slices, so a
+	// set that ever needs to grow detaches instead of clobbering its
+	// neighbor).
+	nw := len(seed)
+	backing := make(regSet, nw*len(asc))
+	need := make([]regSet, len(asc))
+	for i := range need {
+		need[i] = backing[i*nw : (i+1)*nw : (i+1)*nw]
+	}
+	onSlice := make([]bool, len(asc))
+	sharedReads := make([]bool, len(asc))
+
+	after := newRegSet(f.NumRegs()) // scratch, rebuilt per instruction
+	before := newRegSet(f.NumRegs())
+	var usesBuf []int
 
 	for changed := true; changed; {
 		changed = false
-		for _, p := range ordered {
-			in := m.At(p)
-			var after regSet
-			if in.Op.IsTerminator() {
-				// Successors are the first positions of successor blocks.
-				after = regSet{}
-				switch in.Op {
-				case mir.OpBr:
-					for _, nb := range []int{in.Then, in.Else} {
-						q := mir.Pos{Fn: p.Fn, Block: nb, Index: 0}
-						if q == r.Site.Pos {
-							after.addAll(siteNeed)
-						} else if members[q] {
-							after.addAll(need[q])
-						}
-					}
-				case mir.OpJmp:
-					q := mir.Pos{Fn: p.Fn, Block: in.Then, Index: 0}
-					if q == r.Site.Pos {
-						after.addAll(siteNeed)
-					} else if members[q] {
-						after.addAll(need[q])
-					}
-				}
-			} else {
-				after = needAfter(p)
+		for i := range succs {
+			si := &succs[i]
+			in := si.in
+
+			// Need-after: union of need at every region successor (or the
+			// site's seed when the site executes next).
+			after.reset()
+			if si.site {
+				after.addAll(siteNeed)
+			}
+			for _, qi := range si.sidx {
+				after.addAll(need[qi])
 			}
 
-			before := after.clone()
+			if len(before) < len(after) {
+				before = append(before, make(regSet, len(after)-len(before))...)
+			}
+			before.copyFrom(after)
 			sliced := false
-			if in.HasDst() && after[in.Dst] {
+			if in.HasDst() && after.has(in.Dst) {
 				sliced = true
-				delete(before, in.Dst)
+				before.remove(in.Dst)
 				switch in.Op {
 				case mir.OpLoadS:
 					// Definition reads a non-register location: stop
 					// tracking this chain (Figure 8).
 				case mir.OpLoadG, mir.OpLoad:
-					sharedReads[p] = true
-					for _, u := range in.Uses(nil) {
-						before[u] = true
+					sharedReads[si.idx] = true
+					usesBuf = in.Uses(usesBuf[:0])
+					for _, u := range usesBuf {
+						before.add(u)
 					}
 				default:
-					for _, u := range in.Uses(nil) {
-						before[u] = true
+					usesBuf = in.Uses(usesBuf[:0])
+					for _, u := range usesBuf {
+						before.add(u)
 					}
 				}
 			}
@@ -187,29 +281,33 @@ func ComputeSlice(m *mir.Module, r *Region, seedRegs []int) Slice {
 				// steer execution to the site, so their conditions are
 				// always needed.
 				sliced = true
-				for _, u := range in.Uses(nil) {
-					before[u] = true
+				usesBuf = in.Uses(usesBuf[:0])
+				for _, u := range usesBuf {
+					before.add(u)
 				}
 			}
-			if sliced && !onSlice[p] {
-				onSlice[p] = true
+			if sliced && !onSlice[si.idx] {
+				onSlice[si.idx] = true
 				changed = true
 			}
-			old := need[p]
-			if old == nil {
-				need[p] = before
-				if len(before) > 0 {
-					changed = true
-				}
-			} else if old.addAll(before) {
+			if (&need[si.idx]).addAll(before) {
 				changed = true
 			}
 		}
 	}
 
 	var sl Slice
-	sl.SharedReads = sortedPositions(sharedReads)
-	sl.OnSlice = sortedPositions(onSlice)
+	// Walk members in ascending position order so the output lists stay
+	// sorted, as the map-keyed representation guaranteed via
+	// sortedPositions.
+	for i, p := range asc {
+		if sharedReads[i] {
+			sl.SharedReads = append(sl.SharedReads, p)
+		}
+		if onSlice[i] {
+			sl.OnSlice = append(sl.OnSlice, p)
+		}
+	}
 
 	// Registers needed at the entry point: the need set right before the
 	// first region instruction of the entry block — i.e. need at position
@@ -220,12 +318,11 @@ func ComputeSlice(m *mir.Module, r *Region, seedRegs []int) Slice {
 	switch {
 	case entryPos == r.Site.Pos:
 		entryNeed = siteNeed
-	case members[entryPos]:
-		entryNeed = need[entryPos]
+	default:
+		if ei := idxOf(flat(entryPos)); ei >= 0 {
+			entryNeed = need[ei]
+		}
 	}
-	for reg := range entryNeed {
-		sl.NeededAtEntry = append(sl.NeededAtEntry, reg)
-	}
-	sort.Ints(sl.NeededAtEntry)
+	sl.NeededAtEntry = entryNeed.elems()
 	return sl
 }

@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"sync"
 	"time"
 
 	"conair/internal/analysis"
@@ -38,12 +39,46 @@ func runCfg(seed int64) interp.Config {
 // and backoff are the transform defaults.
 func hardenOpts() core.Options { return core.DefaultOptions() }
 
+// mustHarden memoizes core.Harden by (module pointer, options): several
+// sections harden the same prepared module under the paper's default
+// configuration (Table 5/6, §6.4), and hardening is pure — same module,
+// same options, same result — so duplicates reuse the first Hardened.
+// Sharing is safe because no caller mutates a Hardened. A sync.Once per
+// key keeps concurrent pool workers from hardening the same pair twice.
+// Note for §6.4: a cache hit still reports a genuine measurement, since
+// Report.AnalysisTime is recorded inside the original core.Harden call.
+type hardenKey struct {
+	m    *mir.Module
+	opts core.Options
+}
+
+type hardenEntry struct {
+	once sync.Once
+	h    *core.Hardened
+	err  error
+}
+
+var (
+	hardenMu    sync.Mutex
+	hardenCache = map[hardenKey]*hardenEntry{}
+)
+
 func mustHarden(m *mir.Module, opts core.Options) *core.Hardened {
-	h, err := core.Harden(m, opts)
-	if err != nil {
-		panic(err)
+	k := hardenKey{m, opts}
+	hardenMu.Lock()
+	e := hardenCache[k]
+	if e == nil {
+		e = &hardenEntry{}
+		hardenCache[k] = e
 	}
-	return h
+	hardenMu.Unlock()
+	e.once.Do(func() {
+		e.h, e.err = core.Harden(m, opts)
+	})
+	if e.err != nil {
+		panic(e.err)
+	}
+	return e.h
 }
 
 // ---------------------------------------------------------------- Table 2
@@ -105,10 +140,14 @@ func Table3(runs, overheadSeeds int) []Table3Row {
 	if overheadSeeds < 1 {
 		overheadSeeds = 1
 	}
-	var out []Table3Row
-	// Sequential over apps; the engine fans out the per-app seed sweeps
-	// (runs per mode, overheadSeeds triples), which carry all the volume.
-	for _, b := range bugs.All() {
+	bs := bugs.All()
+	// Parallel over apps, and the engine further fans out each app's seed
+	// sweeps (runs per mode, overheadSeeds triples). Rows land in bug order
+	// and every row's floats accumulate in seed order within that row, so
+	// the table is bit-identical to the sequential sweep at any worker
+	// count.
+	return runner.Map(eng, len(bs), func(bi int) Table3Row {
+		b := bs[bi]
 		p := prep(b)
 		row := Table3Row{
 			Name:             b.Name,
@@ -146,9 +185,8 @@ func Table3(runs, overheadSeeds int) []Table3Row {
 		}
 		row.OverheadFixPct = fixSum / float64(overheadSeeds)
 		row.OverheadSurvivalPct = survSum / float64(overheadSeeds)
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // ---------------------------------------------------------------- Table 4
@@ -368,13 +406,11 @@ func Figure2() []Figure2Row {
 		row.FailsUnprotected = !interp.RunModule(m, runCfg(1)).Completed
 
 		h := mustHarden(m, hardenOpts())
-		row.ConAirRecovered = true
-		for seed := int64(0); seed < 10; seed++ {
-			if !interp.RunModule(h.Module, runCfg(seed)).Completed {
-				row.ConAirRecovered = false
-				break
-			}
-		}
+		// The per-seed verdicts are independent; All's early exit on a
+		// failing seed changes only the work done, never the boolean.
+		row.ConAirRecovered = eng.All(10, func(seed int) bool {
+			return interp.RunModule(h.Module, runCfg(int64(seed))).Completed
+		})
 		cb := baseline.RunCheckpointed(m, baseline.CheckpointConfig{
 			Interval: 25, Seed: 5, PerturbBound: 400, MaxSteps: 5_000_000,
 		})

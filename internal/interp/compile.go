@@ -18,9 +18,14 @@ import (
 //     matching eval's historical behaviour);
 //   - every cinstr carries its precomputed mir.Pos, so the failure,
 //     sanitizer and trace paths never reconstruct positions;
-//   - the dominant instruction pairs observed in the golden sweep are fused
-//     into super-instructions (const+bin, bin+br, loadg+br) that the run
-//     loop executes without re-entering the dispatch path.
+//   - scheduling-irrelevant instructions are additionally lowered to direct
+//     Go closures (cinstr.run), so the run loop can execute a whole
+//     superblock — a maximal straight-line run of such instructions — as
+//     one scheduler quantum without re-entering the central dispatch
+//     switch (see superblocks below);
+//   - the scheduling-relevant instruction pairs observed in the golden
+//     sweep are fused into super-instructions (bin+br-at-site, loadg+br)
+//     that the run loop executes without re-entering the dispatch path.
 //
 // Fusion never changes observable behaviour: the scheduler consumes one
 // decision per executed instruction (sched.Random draws its RNG on every
@@ -71,9 +76,11 @@ const (
 
 	// Fused super-instructions. Each occupies the first slot of its source
 	// pair; the second slot keeps the unfused tail as the bail-out target.
-	cFusedConstBin // const dst,aImm ; then x2 = regs[y2] <bin> (regs[z2] | bImm)
-	cFusedBinBr    // bin (generic operands) ; then br on regs[x2] to thenPC/elsePC
-	cFusedLoadGBr  // loadg dst,aux ; then br on regs[x2] to thenPC/elsePC
+	// Only pairs whose head or tail is scheduling-relevant are fused —
+	// pairs of scheduling-irrelevant instructions are covered by the
+	// superblock closure path instead.
+	cFusedBinBr   // bin (generic operands) ; then br (site > 0) on regs[x2] to thenPC/elsePC
+	cFusedLoadGBr // loadg dst,aux ; then br on regs[x2] to thenPC/elsePC
 )
 
 // carg is a pre-resolved call/spawn argument: a register slot, or an
@@ -118,6 +125,14 @@ type cinstr struct {
 	pos  mir.Pos
 	args []carg
 	text string
+
+	// run is the direct-threaded form: non-nil exactly when the instruction
+	// is scheduling-irrelevant (sbEligible), in which case calling run(fr)
+	// performs the instruction's full effect — registers, slots, and pc —
+	// with no possible failure, no thread-state change, no sink event and no
+	// sanitizer hook. The run loop chains these closures inside a superblock
+	// quantum, bypassing the central dispatch switch.
+	run func(fr *frame)
 }
 
 // a resolves the first generic operand against fr.
@@ -138,10 +153,16 @@ func (in *cinstr) b(fr *frame) mir.Word {
 
 // fcode is one compiled function: its flat code stream plus the flat offset
 // of each source block (blockStart[b] is the pc of block b's first
-// instruction).
+// instruction), plus the superblock partition.
 type fcode struct {
 	code       []cinstr
 	blockStart []int32
+	// sbLen[pc] is the length of the maximal run of scheduling-irrelevant
+	// instructions starting at pc (0 when code[pc] is scheduling-relevant).
+	// Runs never span a basic-block boundary or a scheduling-relevant
+	// instruction; the run loop itself gates batching on code[pc].run !=
+	// nil, so sbLen is partition metadata for tests and tooling.
+	sbLen []int32
 }
 
 // Program is a compiled module: one fcode per function, in function order.
@@ -212,6 +233,8 @@ func compileFunc(mod *mir.Module, fi int) fcode {
 	}
 	fc := fcode{code: code, blockStart: offs}
 	fuseFunc(&fc, f)
+	closeFunc(&fc)
+	superblocks(&fc)
 	return fc
 }
 
@@ -322,6 +345,13 @@ func lowerArgs(args []mir.Operand) []carg {
 // Left-to-right rewriting over still-plain tails makes chains consistent:
 // every head leaves the pc at the next source slot, where the (possibly
 // itself fused) successor executes normally.
+//
+// Fusion only targets pairs the superblock path cannot batch: a bin feeding
+// a failure-site branch (the branch closes recovery episodes, so it is
+// scheduling-relevant), and a global load feeding any branch. Pairs of
+// scheduling-irrelevant instructions — including the const+bin pairs fused
+// before superblocks existed — execute on the closure chain instead, which
+// already avoids the dispatch switch.
 func fuseFunc(fc *fcode, f *mir.Function) {
 	for b := range f.Blocks {
 		start := int(fc.blockStart[b])
@@ -330,18 +360,8 @@ func fuseFunc(fc *fcode, f *mir.Function) {
 			head := fc.code[i] // copy: the rewrite reads the plain head
 			tail := &fc.code[i+1]
 			switch {
-			case head.op == cConst && (tail.op == cBinRR || tail.op == cBinRI):
-				head.op = cFusedConstBin
-				head.bin = tail.bin
-				head.x2, head.y2 = tail.dst, tail.aReg
-				if tail.op == cBinRR {
-					head.z2 = tail.bReg
-				} else {
-					head.z2, head.bImm = -1, tail.bImm
-				}
-				fc.code[i] = head
 			case (head.op == cBinRR || head.op == cBinRI || head.op == cBinIR) &&
-				tail.op == cBr && tail.aReg >= 0:
+				tail.op == cBr && tail.aReg >= 0 && tail.site > 0:
 				head.op = cFusedBinBr
 				head.x2 = tail.aReg
 				head.thenPC, head.elsePC = tail.thenPC, tail.elsePC
@@ -354,6 +374,162 @@ func fuseFunc(fc *fcode, f *mir.Function) {
 				head.site = tail.site
 				fc.code[i] = head
 			}
+		}
+	}
+}
+
+// sbEligible reports whether a compiled instruction is scheduling-
+// irrelevant: it cannot fail, cannot change any thread's status (and so
+// cannot change the runnable set), touches no shared state (globals, heap,
+// locks), emits no sink event, triggers no sanitizer hook, produces no
+// output and consumes no scheduler randomness beyond the one decision every
+// instruction costs. Executing a run of such instructions as one quantum is
+// observably identical to stepping them individually, provided the
+// scheduler's random stream still consumes one decision per instruction —
+// which the run loop guarantees.
+func sbEligible(c *cinstr) bool {
+	switch c.op {
+	case cConst, cBinRR, cBinRI, cBinIR, cLoadS, cStoreS, cAddrG, cNop,
+		cYield, cJmp:
+		return true
+	case cBr:
+		// A branch at a failure site closes recovery episodes and is
+		// therefore scheduling-relevant; a plain branch only moves the pc.
+		return c.site == 0
+	}
+	return false
+}
+
+// closeFunc lowers every eligible instruction to its direct-threaded
+// closure. Shapes are specialized so the hot arithmetic ops run without a
+// BinOp dispatch; everything else falls back to the (never-panicking)
+// mir.BinOp.Eval. Fused heads stay on the switch path (run == nil).
+func closeFunc(fc *fcode) {
+	for i := range fc.code {
+		fc.code[i].run = closureFor(&fc.code[i])
+	}
+}
+
+// advance is the shared closure for instructions with no effect but pc++.
+func advance(fr *frame) { fr.pc++ }
+
+func closureFor(c *cinstr) func(*frame) {
+	if !sbEligible(c) {
+		return nil
+	}
+	switch c.op {
+	case cConst:
+		dst, imm := c.dst, c.aImm
+		return func(fr *frame) { fr.regs[dst] = imm; fr.pc++ }
+	case cBinRR:
+		dst, a, b := c.dst, c.aReg, c.bReg
+		switch c.bin {
+		case mir.BinAdd:
+			return func(fr *frame) { fr.regs[dst] = fr.regs[a] + fr.regs[b]; fr.pc++ }
+		case mir.BinSub:
+			return func(fr *frame) { fr.regs[dst] = fr.regs[a] - fr.regs[b]; fr.pc++ }
+		case mir.BinMul:
+			return func(fr *frame) { fr.regs[dst] = fr.regs[a] * fr.regs[b]; fr.pc++ }
+		}
+		bin := c.bin
+		return func(fr *frame) { fr.regs[dst] = bin.Eval(fr.regs[a], fr.regs[b]); fr.pc++ }
+	case cBinRI:
+		dst, a, imm := c.dst, c.aReg, c.bImm
+		switch c.bin {
+		case mir.BinAdd:
+			return func(fr *frame) { fr.regs[dst] = fr.regs[a] + imm; fr.pc++ }
+		case mir.BinSub:
+			return func(fr *frame) { fr.regs[dst] = fr.regs[a] - imm; fr.pc++ }
+		case mir.BinLt:
+			return func(fr *frame) {
+				if fr.regs[a] < imm {
+					fr.regs[dst] = 1
+				} else {
+					fr.regs[dst] = 0
+				}
+				fr.pc++
+			}
+		case mir.BinEq:
+			return func(fr *frame) {
+				if fr.regs[a] == imm {
+					fr.regs[dst] = 1
+				} else {
+					fr.regs[dst] = 0
+				}
+				fr.pc++
+			}
+		}
+		bin := c.bin
+		return func(fr *frame) { fr.regs[dst] = bin.Eval(fr.regs[a], imm); fr.pc++ }
+	case cBinIR:
+		dst, imm, b, bin := c.dst, c.aImm, c.bReg, c.bin
+		return func(fr *frame) { fr.regs[dst] = bin.Eval(imm, fr.regs[b]); fr.pc++ }
+	case cLoadS:
+		dst, slot := c.dst, c.aux
+		return func(fr *frame) { fr.regs[dst] = fr.slots[slot]; fr.pc++ }
+	case cStoreS:
+		slot := c.aux
+		if c.aReg >= 0 {
+			a := c.aReg
+			return func(fr *frame) { fr.slots[slot] = fr.regs[a]; fr.pc++ }
+		}
+		imm := c.aImm
+		return func(fr *frame) { fr.slots[slot] = imm; fr.pc++ }
+	case cAddrG:
+		dst, v := c.dst, globalAddr(int(c.aux))
+		return func(fr *frame) { fr.regs[dst] = v; fr.pc++ }
+	case cNop, cYield:
+		return advance
+	case cJmp:
+		tgt := int(c.thenPC)
+		return func(fr *frame) { fr.pc = tgt }
+	case cBr:
+		tp, ep := int(c.thenPC), int(c.elsePC)
+		if c.aReg >= 0 {
+			a := c.aReg
+			return func(fr *frame) {
+				if fr.regs[a] != 0 {
+					fr.pc = tp
+				} else {
+					fr.pc = ep
+				}
+			}
+		}
+		// Constant condition: the target is fixed at compile time.
+		if c.aImm != 0 {
+			return func(fr *frame) { fr.pc = tp }
+		}
+		return func(fr *frame) { fr.pc = ep }
+	}
+	return nil
+}
+
+// superblocks computes the superblock partition: for each pc, the length of
+// the maximal closure-backed run starting there. Runs are bounded by basic
+// blocks (control can enter a block head directly, and blocks are the unit
+// the compiler laid code out in) and by scheduling-relevant instructions.
+func superblocks(fc *fcode) {
+	fc.sbLen = make([]int32, len(fc.code))
+	nb := len(fc.blockStart)
+	for b := 0; b < nb; b++ {
+		start := int(fc.blockStart[b])
+		end := len(fc.code)
+		if b+1 < nb {
+			end = int(fc.blockStart[b+1])
+		}
+		for i := start; i < end; {
+			if fc.code[i].run == nil {
+				i++
+				continue
+			}
+			j := i
+			for j < end && fc.code[j].run != nil {
+				j++
+			}
+			for k := i; k < j; k++ {
+				fc.sbLen[k] = int32(j - k)
+			}
+			i = j
 		}
 	}
 }

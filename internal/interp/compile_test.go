@@ -182,49 +182,92 @@ func TestCompileOperandBinding(t *testing.T) {
 	}
 }
 
-// TestCompileFusion checks the three super-instruction patterns appear
-// where their source pairs do, that only the head slot is rewritten (the
-// tail keeps its unfused form as the mid-pair bail-out target), and that
-// the fused payload matches the tail.
+// TestCompileFusion checks the super-instruction patterns appear exactly
+// where their source pairs warrant them under the superblock split: pairs
+// with a scheduling-relevant side still fuse (bin + site-tagged br, loadg +
+// br), pairs of scheduling-irrelevant instructions do not — they ride the
+// superblock closure chain instead. Only the head slot of a fused pair is
+// rewritten; the tail keeps its unfused form as the mid-pair bail-out
+// target.
 func TestCompileFusion(t *testing.T) {
 	m := compileTestModule(t)
 	p := Compile(m)
 	mainFn := 1
 
-	// main entry: %i = const 0 ; %n = const 3 — first const's tail is a
-	// const, not fusable; the pattern needing a check is in loop:
-	// %i2 = add %i, 1 ; %i = add %i2, 0 ; %more = lt %i, %n ; br %more.
-	// lt+br must fuse into cFusedBinBr with the br's condition register.
-	bb := findSlot(t, p, mainFn, func(c *cinstr) bool { return c.op == cFusedBinBr })
-	if bb < 0 {
-		t.Fatal("no cFusedBinBr in main")
+	// loop: %more = lt %i, %n ; br %more — a plain (site-0) branch and its
+	// bin are both scheduling-irrelevant, so the pair must NOT fuse: both
+	// slots stay closure-backed in one superblock.
+	if bb := findSlot(t, p, mainFn, func(c *cinstr) bool { return c.op == cFusedBinBr }); bb >= 0 {
+		t.Fatalf("site-0 bin+br fused at pc %d; should ride the superblock path", bb)
 	}
-	head := &p.funcs[mainFn].code[bb]
-	tail := &p.funcs[mainFn].code[bb+1]
+
+	// done: %f = loadg @flag ; br %f → cFusedLoadGBr (the global load is
+	// scheduling-relevant, so the pair cannot batch and fusion still pays).
+	lb := findSlot(t, p, mainFn, func(c *cinstr) bool { return c.op == cFusedLoadGBr })
+	if lb < 0 {
+		t.Fatal("no cFusedLoadGBr in main")
+	}
+	lhead := &p.funcs[mainFn].code[lb]
+	ltail := &p.funcs[mainFn].code[lb+1]
+	if ltail.op != cBr {
+		t.Fatalf("loadg+br tail not left unfused: op %d", ltail.op)
+	}
+	if lhead.x2 != ltail.aReg || lhead.thenPC != ltail.thenPC || lhead.elsePC != ltail.elsePC {
+		t.Fatalf("fused payload (x2=%d then=%d else=%d) != tail (%d,%d,%d)",
+			lhead.x2, lhead.thenPC, lhead.elsePC, ltail.aReg, ltail.thenPC, ltail.elsePC)
+	}
+	// The head absorbs the global load and must stay on the dispatch
+	// switch; the tail is a plain site-0 br, which legitimately keeps its
+	// closure for the mid-pair bail-out path.
+	if lhead.run != nil {
+		t.Fatal("fused head must stay off the superblock closure path")
+	}
+	if ltail.run == nil {
+		t.Fatal("plain br tail should stay closure-backed")
+	}
+
+	// A bin feeding a site-tagged branch — the transformed failure-check
+	// shape — must still fuse: the branch closes recovery episodes, so the
+	// superblock path cannot absorb it. Sites on branches are only ever set
+	// programmatically (by the transform pass); mark the loop branch as a
+	// failure site before compiling a fresh module.
+	m2 := compileTestModule(t)
+	mf := &m2.Functions[1]
+	tagged := false
+	for b := range mf.Blocks {
+		for i := 1; i < len(mf.Blocks[b].Instrs); i++ {
+			in := &mf.Blocks[b].Instrs[i]
+			if in.Op == mir.OpBr && in.A.Kind == mir.OperandReg &&
+				mf.Blocks[b].Instrs[i-1].Op == mir.OpBin {
+				in.Site = 7
+				tagged = true
+			}
+		}
+	}
+	if !tagged {
+		t.Fatal("no bin+br pair found to tag")
+	}
+	p2 := Compile(m2)
+	bb := findSlot(t, p2, 1, func(c *cinstr) bool { return c.op == cFusedBinBr })
+	if bb < 0 {
+		t.Fatal("no cFusedBinBr for site-tagged bin+br")
+	}
+	head := &p2.funcs[1].code[bb]
+	tail := &p2.funcs[1].code[bb+1]
 	if tail.op != cBr {
 		t.Fatalf("fused tail not left unfused: op %d", tail.op)
+	}
+	if head.site != 7 {
+		t.Fatalf("fused head site = %d, want the branch's 7", head.site)
 	}
 	if head.x2 != tail.aReg || head.thenPC != tail.thenPC || head.elsePC != tail.elsePC {
 		t.Fatalf("fused payload (x2=%d then=%d else=%d) != tail (%d,%d,%d)",
 			head.x2, head.thenPC, head.elsePC, tail.aReg, tail.thenPC, tail.elsePC)
 	}
-	if head.dst != tail.aReg && head.x2 != tail.aReg {
-		t.Fatalf("fused BinBr condition register mismatch")
-	}
 
-	// done: %f = loadg @flag ; br %f → cFusedLoadGBr.
-	lb := findSlot(t, p, mainFn, func(c *cinstr) bool { return c.op == cFusedLoadGBr })
-	if lb < 0 {
-		t.Fatal("no cFusedLoadGBr in main")
-	}
-	ltail := &p.funcs[mainFn].code[lb+1]
-	if ltail.op != cBr {
-		t.Fatalf("loadg+br tail not left unfused: op %d", ltail.op)
-	}
-
-	// const+bin: loop's "%i2 = add %i, 1" follows "%i = const 0"? No —
-	// blocks don't span. Build a direct pattern instead.
-	m2, err := mir.Parse(`
+	// const+bin — the pattern the retired cFusedConstBin covered — now
+	// compiles to two closure-backed slots in one superblock.
+	m3, err := mir.Parse(`
 func main() {
 entry:
   %a = const 5
@@ -234,21 +277,16 @@ entry:
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	p2 := Compile(m2)
-	h := &p2.funcs[0].code[0]
-	if h.op != cFusedConstBin {
-		t.Fatalf("const+bin head op = %d, want cFusedConstBin", h.op)
+	p3 := Compile(m3)
+	h, tl := &p3.funcs[0].code[0], &p3.funcs[0].code[1]
+	if h.op != cConst || tl.op != cBinRI {
+		t.Fatalf("const+bin ops = (%d,%d), want plain (cConst,cBinRI)", h.op, tl.op)
 	}
-	tl := &p2.funcs[0].code[1]
-	if tl.op != cBinRI {
-		t.Fatalf("const+bin tail op = %d, want plain cBinRI", tl.op)
+	if h.run == nil || tl.run == nil {
+		t.Fatal("const+bin pair must be closure-backed")
 	}
-	if h.x2 != tl.dst || h.y2 != tl.aReg || h.z2 != -1 || h.bImm != 2 {
-		t.Fatalf("const+bin payload x2=%d y2=%d z2=%d bImm=%d (tail dst=%d aReg=%d)",
-			h.x2, h.y2, h.z2, h.bImm, tl.dst, tl.aReg)
-	}
-	if h.aImm != 5 {
-		t.Fatalf("fused head lost its const value: %d", h.aImm)
+	if got := p3.funcs[0].sbLen[0]; got != 2 {
+		t.Fatalf("const+bin superblock length = %d, want 2", got)
 	}
 }
 

@@ -67,6 +67,13 @@ type Config struct {
 	// default — the dispatch loop pays only a pointer check per event
 	// site and allocates nothing.
 	Sink *obs.Tracer
+	// NoSuperblocks disables superblock quantum batching, forcing every
+	// instruction through the central dispatch switch. Batching is
+	// observation-equivalent by construction — one scheduler decision per
+	// instruction either way — so this exists for the parity tests (which
+	// compare batched against unbatched runs) and for debugging, not as a
+	// semantic knob.
+	NoSuperblocks bool
 	// Sanitizer, when non-nil, receives synchronization and shared-memory
 	// events for dynamic race and deadlock detection (see the Sanitizer
 	// interface). It has the same contract as Sink: observation is

@@ -80,16 +80,18 @@ func benchModule(b *testing.B, src string) *mir.Module {
 	return m
 }
 
-func benchRun(b *testing.B, src string) {
+func benchRun(b *testing.B, src string, cfg func(seed int64) interp.Config) {
 	b.Helper()
 	m := benchModule(b, src)
+	// Hoist program preparation out of the timed loop: the first RunModule
+	// call would otherwise pay the one-time compile inside the measurement,
+	// skewing low-N runs.
+	interp.Compile(m)
 	var steps int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := interp.RunModule(m, interp.Config{
-			Sched: sched.NewRandom(1), MaxSteps: 10_000_000,
-		})
+		r := interp.RunModule(m, cfg(1))
 		if !r.Completed {
 			b.Fatalf("run failed: %+v", r.Failure)
 		}
@@ -98,9 +100,55 @@ func benchRun(b *testing.B, src string) {
 	b.ReportMetric(float64(steps), "steps/op")
 }
 
-func BenchmarkDispatch(b *testing.B)      { benchRun(b, dispatchSrc) }
-func BenchmarkCallHeavy(b *testing.B)     { benchRun(b, callHeavySrc) }
-func BenchmarkHeapLoadStore(b *testing.B) { benchRun(b, heapLoadStoreSrc) }
+func defaultCfg(seed int64) interp.Config {
+	return interp.Config{Sched: sched.NewRandom(seed), MaxSteps: 10_000_000}
+}
+
+func noBatchCfg(seed int64) interp.Config {
+	cfg := defaultCfg(seed)
+	cfg.NoSuperblocks = true
+	return cfg
+}
+
+func BenchmarkDispatch(b *testing.B)      { benchRun(b, dispatchSrc, defaultCfg) }
+func BenchmarkCallHeavy(b *testing.B)     { benchRun(b, callHeavySrc, defaultCfg) }
+func BenchmarkHeapLoadStore(b *testing.B) { benchRun(b, heapLoadStoreSrc, defaultCfg) }
+
+// superblockSrc is the batching-dominant shape: a long straight-line run
+// of thread-local arithmetic per loop iteration, so nearly every
+// instruction rides the closure chain inside one superblock quantum.
+const superblockSrc = `
+func main() {
+entry:
+  %i = const 12000
+  jmp loop
+loop:
+  %a = add %i, 3
+  %b = sub %a, 1
+  %c = mul %b, 2
+  %d = add %c, 5
+  %e = sub %d, %c
+  %f = add %e, %b
+  %i = sub %i, 1
+  %more = gt %i, 0
+  br %more, loop, done
+done:
+  ret 0
+}`
+
+// BenchmarkSuperblockDispatch measures the closure-chain fast path; the
+// NoBatch variant forces the same program through the central dispatch
+// switch (one pickThread round-trip per instruction) and the Reference
+// variant tree-walks the original mir.Instr stream, so the two speedup
+// tiers — AOT compilation and superblock batching — are separable from
+// one binary:
+//
+//	go test ./internal/interp -bench SuperblockDispatch
+func BenchmarkSuperblockDispatch(b *testing.B)        { benchRun(b, superblockSrc, defaultCfg) }
+func BenchmarkSuperblockDispatchNoBatch(b *testing.B) { benchRun(b, superblockSrc, noBatchCfg) }
+func BenchmarkSuperblockDispatchReference(b *testing.B) {
+	benchRunRef(b, superblockSrc)
+}
 
 // The Reference variants run the same programs through RunReference — the
 // pre-compilation execution path kept for differential testing — so the
@@ -176,6 +224,25 @@ loop:
   %i = sub %j, 1
   %c = gt %i, 0
   br %c, loop, loop
+}`},
+		// The closure-chain (superblock) path: a long straight-line run of
+		// eligible instructions per iteration, so almost every step executes
+		// inside a batched quantum rather than the dispatch switch.
+		{"superblock", `
+func main() {
+entry:
+  %i = const 1
+  jmp loop
+loop:
+  %a = add %i, 3
+  %b = sub %a, 1
+  %c = mul %b, 2
+  %d = add %c, 5
+  %e = sub %d, %c
+  %i = add %e, 0
+  %i = sub %i, %b
+  %k = gt %i, -1000000000
+  br %k, loop, loop
 }`},
 	}
 	for _, tc := range cases {

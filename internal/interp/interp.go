@@ -58,6 +58,19 @@ type VM struct {
 	// hot path reuses zeroed arrays instead of allocating. Indexed by
 	// function; each entry stacks {regs, slots} pairs of retired frames.
 	pools [][][2][]mir.Word
+
+	// arena is the VM's frame backing store: pool misses carve register/slot
+	// arrays out of one chunked allocation instead of calling make per
+	// frame, so a run's allocation count is O(arena chunks), not O(calls).
+	arena    []mir.Word
+	arenaOff int
+
+	// sbQuanta counts superblock quanta entered and sbInstrs the
+	// instructions retired inside them; their difference is the number of
+	// full dispatch round-trips the batching saved. Flushed to the metrics
+	// registry once per run by result().
+	sbQuanta int64
+	sbInstrs int64
 }
 
 // New prepares a VM for the module, compiling it to the flat code stream
@@ -170,11 +183,32 @@ func (vm *VM) newFrame(fi, retDst int) frame {
 		clear(slots)
 	} else {
 		nr := f.NumRegs()
-		buf := make([]mir.Word, nr+len(f.SlotNames))
+		buf := vm.arenaAlloc(nr + len(f.SlotNames))
 		regs, slots = buf[:nr:nr], buf[nr:]
 	}
 	return frame{fn: fi, regs: regs, slots: slots, retDst: retDst}
 }
+
+// arenaAlloc carves an n-word array out of the VM's frame arena, growing it
+// by fixed chunks. Fresh chunks are zeroed by make, and every span is
+// handed out exactly once (recycling goes through the per-function pools,
+// which zero on reuse), so callers always see zeroed memory.
+func (vm *VM) arenaAlloc(n int) []mir.Word {
+	if vm.arenaOff+n > len(vm.arena) {
+		c := arenaChunk
+		if n > c {
+			c = n
+		}
+		vm.arena = make([]mir.Word, c)
+		vm.arenaOff = 0
+	}
+	buf := vm.arena[vm.arenaOff : vm.arenaOff+n : vm.arenaOff+n]
+	vm.arenaOff += n
+	return buf
+}
+
+// arenaChunk is the frame-arena growth unit, in words.
+const arenaChunk = 1024
 
 // recycleFrame returns a retired frame's arrays to the per-function pool.
 func (vm *VM) recycleFrame(fr *frame) {
@@ -222,8 +256,22 @@ func (vm *VM) closeEpisode(t *thread, site int) {
 // unfused tail at pc+1 executes later, exactly as if never fused. Fusion
 // is disabled in single mode (StepOnce means one instruction) and under
 // Trace (one trace line per instruction).
+//
+// Superblock quanta obey the same contract. When the current instruction
+// is scheduling-irrelevant (in.run != nil — see sbEligible), the loop
+// enters a quantum: it chains the compiled closures directly, performing
+// the identical step++/limit/Pick/sink sequence between instructions but
+// never re-entering the dispatch switch until it reaches a scheduling-
+// relevant instruction or the scheduler picks another thread. Because
+// eligible instructions cannot fail, block, wake, spawn or finish threads,
+// the runnable set — and with it every scheduler decision and its RNG draw
+// — is bit-identical to unbatched execution; batching changes only how
+// many times the dispatch switch runs. Superblocks are disabled in single
+// mode, under Trace, and by Config.NoSuperblocks (the parity tests'
+// reference).
 func (vm *VM) runLoop(max int64, single bool) bool {
 	fuse := !single && vm.cfg.Trace == nil
+	batch := fuse && !vm.cfg.NoSuperblocks
 	executed := false
 	tid := -1
 	var (
@@ -244,14 +292,7 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 		// pickThread → Intn, minus two call frames per instruction.
 		var ntid int
 		if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
-			n := int32(len(vm.live))
-			v := vm.rnd.Int31()
-			if n&(n-1) == 0 {
-				v &= n - 1
-			} else {
-				v = vm.rnd.IntnTail(v, n)
-			}
-			ntid = vm.live[v]
+			ntid = vm.live[vm.rnd.ReduceDraw(vm.rnd.Int31(), int32(len(vm.live)))]
 		} else {
 			var ok bool
 			ntid, ok = vm.pickThread()
@@ -273,6 +314,93 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 
 	dispatch:
 		in := &code[fr.pc]
+
+		if batch && in.run != nil {
+			// Superblock quantum: chain closures until the superblock ends or
+			// the scheduler switches threads. The pick for the current
+			// instruction was already consumed (and sink-recorded) above; the
+			// loop consumes exactly one further pick per retired instruction,
+			// so the RNG stream is positioned exactly as unbatched execution
+			// would leave it.
+			executed = true
+			vm.sbQuanta++
+			if vm.rnd != nil && vm.waiting == 0 {
+				// No eligible instruction can change the live set or wake a
+				// waiter, so the runnable count n — and the fast-pick
+				// precondition itself — is invariant across the quantum. The
+				// step counters stay in locals for the quantum's duration
+				// (closures never read them) and are flushed back on every
+				// exit path.
+				n := int32(len(vm.live))
+				rnd, live := vm.rnd, vm.live
+				step, instrs := vm.step, vm.sbInstrs
+				for {
+					in.run(fr)
+					step++
+					instrs++
+					if step >= max {
+						vm.step, vm.sbInstrs = step, instrs
+						vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+						return true
+					}
+					nt := live[rnd.ReduceDraw(rnd.Int31(), n)]
+					if vm.sink != nil {
+						vm.sink.Record(obs.Event{
+							Step: step, Kind: obs.KindSchedPick, TID: int32(nt),
+						})
+					}
+					if nt != tid {
+						vm.step, vm.sbInstrs = step, instrs
+						tid = nt
+						t = vm.threads[tid]
+						fr = t.top()
+						code = vm.prog.funcs[fr.fn].code
+						goto dispatch
+					}
+					in = &code[fr.pc]
+					if in.run == nil {
+						vm.step, vm.sbInstrs = step, instrs
+						break
+					}
+				}
+			} else {
+				// Non-Random scheduler (PCT, round-robin, scripted) or some
+				// thread waiting: take the full pickThread per instruction so
+				// wake-ups, timeouts and scheduler state advance exactly as
+				// they would unbatched.
+				for {
+					in.run(fr)
+					vm.step++
+					vm.sbInstrs++
+					if vm.step >= max {
+						vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+						return true
+					}
+					nt, ok := vm.pickThread()
+					if !ok {
+						return true
+					}
+					if vm.sink != nil {
+						vm.sink.Record(obs.Event{
+							Step: vm.step, Kind: obs.KindSchedPick, TID: int32(nt),
+						})
+					}
+					if nt != tid {
+						tid = nt
+						t = vm.threads[tid]
+						fr = t.top()
+						code = vm.prog.funcs[fr.fn].code
+						goto dispatch
+					}
+					in = &code[fr.pc]
+					if in.run == nil {
+						break
+					}
+				}
+			}
+			// in is scheduling-relevant and its pick is already consumed:
+			// fall through to the dispatch switch below.
+		}
 
 		if vm.cfg.Trace != nil {
 			// The precomputed in.pos addresses the source instruction
@@ -679,57 +807,6 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 			fr = caller
 			code = vm.prog.funcs[fr.fn].code
 
-		case cFusedConstBin:
-			fr.regs[in.dst] = in.aImm
-			fr.pc++
-			if !fuse {
-				break
-			}
-			// Inter-instruction scheduling step (see the runLoop comment).
-			vm.step++
-			executed = true
-			if vm.step >= max {
-				vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
-				return true
-			}
-			var ntid2 int
-			if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
-				n := int32(len(vm.live))
-				v := vm.rnd.Int31()
-				if n&(n-1) == 0 {
-					v &= n - 1
-				} else {
-					v = vm.rnd.IntnTail(v, n)
-				}
-				ntid2 = vm.live[v]
-			} else {
-				var ok bool
-				ntid2, ok = vm.pickThread()
-				if !ok {
-					return true
-				}
-			}
-			if vm.sink != nil {
-				vm.sink.Record(obs.Event{
-					Step: vm.step, Kind: obs.KindSchedPick, TID: int32(ntid2),
-				})
-			}
-			if ntid2 != tid {
-				tid = ntid2
-				t = vm.threads[tid]
-				fr = t.top()
-				code = vm.prog.funcs[fr.fn].code
-				goto dispatch
-			}
-			var y mir.Word
-			if in.z2 >= 0 {
-				y = fr.regs[in.z2]
-			} else {
-				y = in.bImm
-			}
-			fr.regs[in.x2] = in.bin.Eval(fr.regs[in.y2], y)
-			fr.pc++
-
 		case cFusedBinBr:
 			var bx, by mir.Word
 			if in.aReg >= 0 {
@@ -747,6 +824,7 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 			if !fuse {
 				break
 			}
+			// Inter-instruction scheduling step (see the runLoop comment).
 			vm.step++
 			executed = true
 			if vm.step >= max {
@@ -755,14 +833,7 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 			}
 			var ntid3 int
 			if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
-				n := int32(len(vm.live))
-				v := vm.rnd.Int31()
-				if n&(n-1) == 0 {
-					v &= n - 1
-				} else {
-					v = vm.rnd.IntnTail(v, n)
-				}
-				ntid3 = vm.live[v]
+				ntid3 = vm.live[vm.rnd.ReduceDraw(vm.rnd.Int31(), int32(len(vm.live)))]
 			} else {
 				var ok bool
 				ntid3, ok = vm.pickThread()
@@ -809,14 +880,7 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 			}
 			var ntid4 int
 			if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
-				n := int32(len(vm.live))
-				v := vm.rnd.Int31()
-				if n&(n-1) == 0 {
-					v &= n - 1
-				} else {
-					v = vm.rnd.IntnTail(v, n)
-				}
-				ntid4 = vm.live[v]
+				ntid4 = vm.live[vm.rnd.ReduceDraw(vm.rnd.Int31(), int32(len(vm.live)))]
 			} else {
 				var ok bool
 				ntid4, ok = vm.pickThread()
@@ -882,8 +946,11 @@ func (vm *VM) result() *Result {
 		vm.counted = true
 		totalRuns.Add(1)
 		totalSteps.Add(vm.step)
+		totalSBQuanta.Add(vm.sbQuanta)
+		totalSBSaved.Add(vm.sbInstrs - vm.sbQuanta)
 		if reg := metricsRegistry.Load(); reg != nil {
 			recordRunMetrics(reg, r)
+			recordSuperblockMetrics(reg, vm.sbQuanta, vm.sbInstrs)
 		}
 	}
 	return r

@@ -51,3 +51,18 @@ func recordRunMetrics(reg *obs.Registry, r *Result) {
 		}
 	}
 }
+
+// recordSuperblockMetrics reports one run's superblock batching activity:
+// quanta entered, and the dispatch round-trips saved (instructions retired
+// inside quanta minus quanta — the scheduler consumed one decision per
+// instruction regardless, so this is pure dispatch overhead removed, never
+// a schedule change). Superblock counters are deliberately kept out of
+// Stats/Result: results must stay bit-identical between the batched run
+// loop and the tree-walking reference interpreter, which has no quanta.
+func recordSuperblockMetrics(reg *obs.Registry, quanta, instrs int64) {
+	if quanta == 0 {
+		return
+	}
+	reg.Counter("interp_superblocks_executed_total").Add(quanta)
+	reg.Counter("interp_quanta_saved_total").Add(instrs - quanta)
+}

@@ -1,0 +1,151 @@
+package interp_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/mirgen"
+	"conair/internal/obs"
+	"conair/internal/sched"
+)
+
+// The superblock-parity tests pin the batching contract stated in
+// config.go: a run with superblock quantum batching enabled (the default)
+// is observation-equivalent to the same run with NoSuperblocks — identical
+// Result (completion, failure, exit code, outputs, step counts, recovery
+// stats) AND an identical schedule-decision stream, decision by decision.
+// The second half is the stronger claim: batching may only change how many
+// times the dispatch switch runs, never which thread is picked at which
+// virtual-time step, because the future record-and-replay work keys off
+// that stream.
+
+const (
+	parityMaxSteps = 150_000
+	// Ring capacity sized so no event is ever dropped at parityMaxSteps:
+	// one KindSchedPick per executed instruction plus lifecycle, lock and
+	// output events, which the corpus keeps well under 2x the pick count.
+	parityTracerCap = 1 << 19
+)
+
+// schedPick is one scheduling decision: thread tid was chosen at virtual
+// time step.
+type schedPick struct {
+	step int64
+	tid  int32
+}
+
+// runTraced executes m once with a dedicated tracer and returns the
+// Result plus the full schedule-decision stream.
+func runTraced(t *testing.T, m *mir.Module, seed int64, noSuperblocks bool) (*interp.Result, []schedPick) {
+	t.Helper()
+	tr := obs.NewTracer(parityTracerCap)
+	r := interp.RunModule(m, interp.Config{
+		Sched:         sched.NewRandom(seed),
+		MaxSteps:      parityMaxSteps,
+		CollectOutput: true,
+		Sink:          tr,
+		NoSuperblocks: noSuperblocks,
+	})
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("tracer dropped %d events; raise parityTracerCap", d)
+	}
+	var picks []schedPick
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindSchedPick {
+			picks = append(picks, schedPick{e.Step, e.TID})
+		}
+	}
+	return r, picks
+}
+
+// parityCompare runs m under both dispatch modes across seeds and fails on
+// any divergence.
+func parityCompare(t *testing.T, name string, m *mir.Module, seeds []int64) {
+	t.Helper()
+	for _, seed := range seeds {
+		batched, batchedPicks := runTraced(t, m, seed, false)
+		plain, plainPicks := runTraced(t, m, seed, true)
+
+		if !reflect.DeepEqual(batched, plain) {
+			t.Errorf("%s seed %d: batched and unbatched results differ\nbatched:   %+v\nunbatched: %+v",
+				name, seed, batched, plain)
+			if batched.Failure != nil || plain.Failure != nil {
+				t.Errorf("failures: batched=%+v unbatched=%+v", batched.Failure, plain.Failure)
+			}
+			return
+		}
+		if len(batchedPicks) != len(plainPicks) {
+			t.Errorf("%s seed %d: schedule streams differ in length: batched=%d unbatched=%d",
+				name, seed, len(batchedPicks), len(plainPicks))
+			return
+		}
+		for i := range batchedPicks {
+			if batchedPicks[i] != plainPicks[i] {
+				t.Errorf("%s seed %d: schedule streams diverge at decision %d: batched=%+v unbatched=%+v",
+					name, seed, i, batchedPicks[i], plainPicks[i])
+				return
+			}
+		}
+	}
+}
+
+// TestSuperblockParityTestdata runs every checked-in .mir program — raw
+// and hardened — batched against unbatched across several seeds.
+func TestSuperblockParityTestdata(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.mir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	seeds := []int64{0, 1, 7, 42, 12345}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := mir.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		name := filepath.Base(path)
+		parityCompare(t, name, m, seeds)
+
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: harden: %v", path, err)
+		}
+		parityCompare(t, name+"+hardened", h.Module, seeds)
+	}
+}
+
+// TestSuperblockParityMirgen sweeps 50 generated programs — cycling
+// thread counts and all bug templates, each raw AND hardened — batched
+// against unbatched. Hardened programs are the leg that matters most
+// here: checkpoints, site branches and recovery blocks are exactly the
+// scheduling-relevant instructions that must break superblocks.
+func TestSuperblockParityMirgen(t *testing.T) {
+	bugs := []mirgen.BugKind{
+		mirgen.BugNone, mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion,
+	}
+	seeds := []int64{0, 3}
+	for i := 0; i < 50; i++ {
+		cfg := mirgen.Config{
+			Seed:    int64(i),
+			Threads: i % 4,
+			Bug:     bugs[i%len(bugs)],
+		}
+		m := mirgen.Gen(cfg)
+		name := cfg.Bug.String()
+		parityCompare(t, name, m, seeds)
+
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: harden: %v", i, err)
+		}
+		parityCompare(t, name+"+hardened", h.Module, seeds)
+	}
+}

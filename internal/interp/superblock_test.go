@@ -1,0 +1,174 @@
+package interp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"conair/internal/mir"
+	"conair/internal/mirgen"
+)
+
+// sbAllowed is the test's own copy of the scheduling-irrelevant opcode
+// set. It is deliberately NOT derived from sbEligible: widening the
+// eligible set (say, to batch global loads) must fail here and force a
+// conscious review of the observation-equivalence argument, because a
+// wrongly-admitted opcode silently breaks schedule bit-identity.
+var sbAllowed = map[cop]bool{
+	cConst:  true,
+	cBinRR:  true,
+	cBinRI:  true,
+	cBinIR:  true,
+	cLoadS:  true,
+	cStoreS: true,
+	cAddrG:  true,
+	cNop:    true,
+	cYield:  true,
+	cJmp:    true,
+	cBr:     true, // only when site == 0, checked separately
+}
+
+// checkSuperblocks asserts the compile-time superblock invariants for one
+// compiled module:
+//
+//   - a slot is closure-backed (run != nil) exactly when sbEligible says
+//     so, and only for opcodes in the independent allowlist above;
+//   - a br closure exists only at site 0 — site-tagged branches close
+//     recovery episodes and must stay on the dispatch switch;
+//   - sbLen describes maximal contiguous closure-backed runs that never
+//     cross a basic-block boundary or a scheduling-relevant slot.
+func checkSuperblocks(t *testing.T, name string, p *Program) {
+	t.Helper()
+	for fi := range p.funcs {
+		fc := &p.funcs[fi]
+		if len(fc.sbLen) != len(fc.code) {
+			t.Fatalf("%s func %d: sbLen has %d entries for %d slots",
+				name, fi, len(fc.sbLen), len(fc.code))
+		}
+		for pc := range fc.code {
+			c := &fc.code[pc]
+			if (c.run != nil) != sbEligible(c) {
+				t.Fatalf("%s func %d pc %d: run=%v but sbEligible=%v (op %d)",
+					name, fi, pc, c.run != nil, sbEligible(c), c.op)
+			}
+			if c.run != nil {
+				if !sbAllowed[c.op] {
+					t.Fatalf("%s func %d pc %d: op %d is closure-backed but not in the allowlist",
+						name, fi, pc, c.op)
+				}
+				if c.op == cBr && c.site != 0 {
+					t.Fatalf("%s func %d pc %d: site-tagged br (site %d) is closure-backed",
+						name, fi, pc, c.site)
+				}
+			}
+			if (fc.sbLen[pc] > 0) != (c.run != nil) {
+				t.Fatalf("%s func %d pc %d: sbLen=%d but run=%v",
+					name, fi, pc, fc.sbLen[pc], c.run != nil)
+			}
+		}
+
+		// Walk each basic-block span and re-derive the partition.
+		nb := len(fc.blockStart)
+		for b := 0; b < nb; b++ {
+			start := int(fc.blockStart[b])
+			end := len(fc.code)
+			if b+1 < nb {
+				end = int(fc.blockStart[b+1])
+			}
+			for pc := start; pc < end; {
+				if fc.code[pc].run == nil {
+					pc++
+					continue
+				}
+				// pc is a run head: either the block's first slot or
+				// preceded by a scheduling-relevant slot.
+				L := int(fc.sbLen[pc])
+				if pc+L > end {
+					t.Fatalf("%s func %d pc %d: superblock of length %d crosses block end %d",
+						name, fi, pc, L, end)
+				}
+				for k := 0; k < L; k++ {
+					if fc.code[pc+k].run == nil {
+						t.Fatalf("%s func %d pc %d: scheduling-relevant slot inside superblock [%d,%d)",
+							name, fi, pc+k, pc, pc+L)
+					}
+					if got, want := int(fc.sbLen[pc+k]), L-k; got != want {
+						t.Fatalf("%s func %d pc %d: sbLen=%d, want %d (suffix of run at %d)",
+							name, fi, pc+k, got, want, pc)
+					}
+				}
+				if pc+L < end && fc.code[pc+L].run != nil {
+					t.Fatalf("%s func %d pc %d: superblock of length %d is not maximal",
+						name, fi, pc, L)
+				}
+				pc += L
+			}
+		}
+	}
+}
+
+// TestSuperblockBoundaries verifies the partition invariants over the
+// compile-test module, the checked-in hardened golden module (checkpoint,
+// rollback, timedlock, fail and recovery-block shapes), a site-tagged
+// branch variant, and a sweep of generated programs.
+func TestSuperblockBoundaries(t *testing.T) {
+	mods := map[string]*mir.Module{
+		"compiletest": compileTestModule(t),
+	}
+
+	src, err := os.ReadFile(filepath.Join("..", "transform", "testdata", "golden_transform.mir"))
+	if err != nil {
+		t.Fatalf("reading hardened golden module: %v", err)
+	}
+	golden, err := mir.Parse(string(src))
+	if err != nil {
+		t.Fatalf("parsing hardened golden module: %v", err)
+	}
+	mods["golden_transform"] = golden
+
+	// Site-tagged branches only appear via the transform pass; tag every
+	// register branch the way transform does so the site-br boundary rule
+	// is exercised directly.
+	tagged := compileTestModule(t)
+	n := 0
+	for fi := range tagged.Functions {
+		f := &tagged.Functions[fi]
+		for b := range f.Blocks {
+			for i := range f.Blocks[b].Instrs {
+				in := &f.Blocks[b].Instrs[i]
+				if in.Op == mir.OpBr && in.A.Kind == mir.OperandReg {
+					n++
+					in.Site = n
+				}
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no register branches found to site-tag")
+	}
+	mods["site-tagged"] = tagged
+
+	bugs := []mirgen.BugKind{
+		mirgen.BugNone, mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion,
+	}
+	for i := 0; i < 25; i++ {
+		cfg := mirgen.Config{Seed: int64(i), Threads: i % 4, Bug: bugs[i%len(bugs)]}
+		mods[cfg.Bug.String()+"/"+string(rune('a'+i))] = mirgen.Gen(cfg)
+	}
+
+	sawRun := false
+	for name, m := range mods {
+		p := Compile(m)
+		checkSuperblocks(t, name, p)
+		for fi := range p.funcs {
+			for _, l := range p.funcs[fi].sbLen {
+				if l >= 2 {
+					sawRun = true
+				}
+			}
+		}
+	}
+	if !sawRun {
+		t.Fatal("no superblock of length >= 2 anywhere in the corpus; batching never engages")
+	}
+}

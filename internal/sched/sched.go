@@ -56,11 +56,19 @@ func (r *Random) Intn(n int) int {
 		return r.rng.Intn(n) // out of the fast range; also panics on n <= 0
 	}
 	n32 := int32(n)
-	v := r.Int31()
-	if n32&(n32-1) == 0 {
-		return int(v & (n32 - 1))
+	return int(r.ReduceDraw(r.Int31(), n32))
+}
+
+// ReduceDraw reduces a raw Int31 draw v to a uniform index in [0, n),
+// consuming further draws only in math/rand's modulo-rejection case. It is
+// the shared tail of Intn: hot schedulers (the interpreter's dispatch and
+// superblock loops) call Int31 + ReduceDraw inline and get the
+// bit-identical value stream — and draw count — Intn would produce.
+func (r *Random) ReduceDraw(v, n int32) int32 {
+	if n&(n-1) == 0 {
+		return v & (n - 1)
 	}
-	return int(r.IntnTail(v, n32))
+	return r.IntnTail(v, n)
 }
 
 // Int31 returns the next raw draw, identical to math/rand.(*Rand).Int31.

@@ -130,24 +130,57 @@ func rewriteFunction(f *mir.Function, cps []analysis.Checkpoint,
 	nOrig := len(f.Blocks)
 	newBlocks := make([]mir.Block, nOrig, nOrig+2*len(rws))
 
+	// Blocks with no checkpoint plant and no site rewrite carry over
+	// verbatim; only touched blocks pay the instruction-by-instruction
+	// rebuild below. Hardened modules touch a handful of blocks, so this
+	// skips the bulk of the copy work.
+	touched := make([]bool, nOrig)
+	for k := range cpAt {
+		touched[k[0]] = true
+	}
+	for k := range rwAt {
+		touched[k[0]] = true
+	}
+
 	// newReg appends a fresh compiler temporary.
 	newReg := func(name string) int {
 		f.RegNames = append(f.RegNames, name)
 		return len(f.RegNames) - 1
 	}
 	// appendBlock adds a block after the originals and returns its index.
+	// Deliberately no capacity pre-sizing: a block split by several sites
+	// would over-allocate the full remainder per split, which costs more
+	// than incremental append growth.
 	appendBlock := func(name string) int {
 		newBlocks = append(newBlocks, mir.Block{Name: name})
 		return len(newBlocks) - 1
 	}
 
 	for bi := 0; bi < nOrig; bi++ {
+		if !touched[bi] {
+			// The function was cloned by Apply, so reusing the block (and
+			// its instruction slice) wholesale is safe.
+			newBlocks[bi] = f.Blocks[bi]
+			continue
+		}
 		src := f.Blocks[bi].Instrs
 		curName := f.Blocks[bi].Name
-		cur := bi // index of the block currently being filled
-		newBlocks[cur].Name = curName
+		newBlocks[bi].Name = curName
+
+		// Everything emitted while rebuilding this block lands in one
+		// shared buffer; a site rewrite redirects subsequent emits into its
+		// continuation block by starting a new segment. The buffer is
+		// sliced into the per-block instruction lists only once it is
+		// complete, so one allocation (plus rare growth) replaces the
+		// per-block append churn this loop used to pay.
+		type segment struct{ block, start int }
+		buf := make([]mir.Instr, 0, len(src)+8)
+		segs := []segment{{bi, 0}}
 		emit := func(in mir.Instr) {
-			newBlocks[cur].Instrs = append(newBlocks[cur].Instrs, in)
+			buf = append(buf, in)
+		}
+		startSegment := func(block int) {
+			segs = append(segs, segment{block, len(buf)})
 		}
 
 		for ii := 0; ii < len(src); ii++ {
@@ -181,7 +214,7 @@ func rewriteFunction(f *mir.Function, cps []analysis.Checkpoint,
 					{Op: mir.OpRollback, Dst: -1, Site: site.ID, MaxRetry: opts.MaxRetry},
 					{Op: mir.OpFail, Dst: -1, FailKind: failKind, Site: site.ID, Text: in.Text},
 				}
-				cur = cont
+				startSegment(cont)
 
 			case analysis.SiteSegfault:
 				// Figure 5c: pointer sanity check; exhausted retries fall
@@ -201,7 +234,7 @@ func rewriteFunction(f *mir.Function, cps []analysis.Checkpoint,
 					{Op: mir.OpRollback, Dst: -1, Site: site.ID, MaxRetry: opts.MaxRetry},
 					{Op: mir.OpJmp, Dst: -1, Then: cont},
 				}
-				cur = cont
+				startSegment(cont)
 				deref := in
 				deref.Site = site.ID
 				emit(deref)
@@ -226,12 +259,22 @@ func rewriteFunction(f *mir.Function, cps []analysis.Checkpoint,
 					{Op: mir.OpFail, Dst: -1, FailKind: mir.FailDeadlock, Site: site.ID,
 						Text: "lock acquisition timed out after exhausted recovery"},
 				}
-				cur = cont
+				startSegment(cont)
 			}
 		}
 		// A checkpoint may be addressed at one past the last position of a
 		// block only if the block's terminator was a destroyer, which
 		// terminators never are; nothing to flush.
+
+		// Slice the finished buffer into the rebuilt blocks. Three-index
+		// expressions keep the segments from ever sharing append capacity.
+		for k, s := range segs {
+			end := len(buf)
+			if k+1 < len(segs) {
+				end = segs[k+1].start
+			}
+			newBlocks[s.block].Instrs = buf[s.start:end:end]
+		}
 	}
 	f.Blocks = newBlocks
 }
