@@ -25,11 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
+	"sync/atomic"
 
 	"conair/internal/experiments"
+	"conair/internal/replay"
 	"conair/internal/report"
 )
 
@@ -60,6 +63,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the full metrics registry to stderr after the run (and into -json output)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
+	recordDir := flag.String("record", "", "write every failing run as a replayable .cnr schedule recording into this directory")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-run wall-clock watchdog (0 = off); wedged runs come back as hang failures")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -111,7 +116,43 @@ func main() {
 	// (the sweep allocates heavily in hardening and module cloning).
 	debug.SetGCPercent(800)
 	experiments.SetWorkers(*workers)
+	experiments.SetJobTimeout(*jobTimeout)
 	progressOn = *progress
+
+	var recorder *replay.AutoRecorder
+	if *recordDir != "" {
+		recorder = replay.NewAutoRecorder(*recordDir)
+		experiments.SetAutoRecord(recorder)
+		defer func() {
+			// All recordings are written synchronously by the workers; by the
+			// time the sections return (or the drain completes) everything is
+			// flushed — this just reports the forensics haul.
+			fmt.Fprintf(os.Stderr, "conair-bench: %d schedule recording(s) -> %s\n",
+				len(recorder.Written()), recorder.Dir)
+			if err := recorder.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "conair-bench: recording error:", err)
+			}
+		}()
+	}
+
+	// Graceful SIGINT: the first ^C drains the worker pool — jobs already
+	// running finish (and flush their recordings), queued jobs are skipped,
+	// partial tables still print. A second ^C kills the process normally.
+	stop := &atomic.Bool{}
+	experiments.SetStop(stop)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		stop.Store(true)
+		fmt.Fprintln(os.Stderr, "conair-bench: interrupt — draining workers; results below are partial (^C again to kill)")
+		signal.Stop(sigc)
+	}()
+	defer func() {
+		if stop.Load() {
+			fmt.Fprintln(os.Stderr, "conair-bench: interrupted; results are partial")
+		}
+	}()
 	// The header records the effective worker count (the -json config block
 	// captures the same value), so BENCH_*.json snapshots are attributable.
 	fmt.Fprintf(os.Stderr, "conair-bench: %d worker(s), GOMAXPROCS=%d, %s\n",

@@ -66,7 +66,45 @@ func main() {
 	sanitize := flag.Bool("sanitize", false, "sanitize mode: hunt for races/deadlocks under PCT schedules instead of hardening")
 	sanitizeBudget := flag.Int64("sanitize-budget", 20, "sanitize mode: number of PCT schedule seeds to search")
 	sanitizeMaxSteps := flag.Int64("max-steps", 20_000_000, "sanitize mode: interpreter step budget per schedule")
+	record := flag.String("record", "", "record mode: write a replayable schedule recording (.cnr) of one run of -bug or prog.mir")
+	recordSched := flag.String("record-sched", "random", "record mode: scheduler (random or pct)")
+	recordSearch := flag.Int64("record-search", 1, "record mode: try up to N seeds from -seed, keep the first failing run")
+	recordHardened := flag.Bool("record-hardened", false, "record mode: record the survival-hardened program")
+	recordMaxSteps := flag.Int64("rec-max-steps", 200_000_000, "record mode: interpreter step budget")
+	replayPath := flag.String("replay", "", "replay mode: reproduce a schedule recording (.cnr) and verify bit-identity")
+	minimize := flag.String("minimize", "", "minimize mode: ddmin-shrink a failing recording (.cnr) to a minimal schedule")
+	probeBudget := flag.Int("probe-budget", 0, "minimize mode: probe replay budget (0 = default)")
+	minTrace := flag.String("min-trace", "", "replay/minimize mode: write a Chrome trace of the (minimized) schedule")
 	flag.Parse()
+
+	if *record != "" || *replayPath != "" || *minimize != "" {
+		modFile := ""
+		if flag.NArg() == 1 {
+			modFile = flag.Arg(0)
+		} else if flag.NArg() > 1 {
+			fatal(fmt.Errorf("record/replay/minimize modes take at most one prog.mir argument"))
+		}
+		var err error
+		switch {
+		case *record != "":
+			if *bug == "" && modFile == "" {
+				fatal(fmt.Errorf("-record needs -bug NAME or a prog.mir argument"))
+			}
+			err = runRecord(recordOpts{
+				out: *record, bug: *bug, file: modFile, hardened: *recordHardened,
+				schedN: *recordSched, seed: *seed, search: *recordSearch,
+				maxSteps: *recordMaxSteps, quiet: *quiet,
+			})
+		case *replayPath != "":
+			err = runReplay(*replayPath, modFile, *minTrace, *quiet)
+		default:
+			err = runMinimize(*minimize, modFile, *out, *minTrace, *probeBudget, *quiet)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *trace != "" || *bug != "" {
 		if *trace == "" || *bug == "" {

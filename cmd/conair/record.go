@@ -1,0 +1,241 @@
+package main
+
+// Record-and-replay forensics modes:
+//
+//	conair -record out.cnr -bug MySQL1 [-record-hardened] [-seed N]
+//	       [-record-search N] [-record-sched random|pct] [-rec-max-steps N]
+//	conair -record out.cnr [flags] prog.mir
+//	conair -replay rec.cnr [prog.mir] [-min-trace out.json]
+//	conair -minimize rec.cnr [-o min.cnr] [-probe-budget N]
+//	       [-min-trace out.json]
+//
+// -record captures one run's scheduler decision stream as a replayable
+// artifact (searching seeds until a failing run is found when
+// -record-search > 1). -replay reproduces an artifact bit-identically and
+// verifies it against the recorded fingerprint. -minimize ddmin-shrinks a
+// failing artifact to a minimal schedule — the few context switches that
+// actually matter — and can emit a Chrome trace of the minimized run.
+
+import (
+	"fmt"
+	"os"
+
+	"conair/internal/bugs"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/obs"
+	"conair/internal/replay"
+	"conair/internal/sched"
+)
+
+// recordOpts configures a -record capture.
+type recordOpts struct {
+	out      string // artifact path
+	bug      string // benchmark bug name ("" = positional prog.mir)
+	file     string // positional .mir path when bug == ""
+	hardened bool   // record the survival-hardened program
+	schedN   string // random or pct
+	seed     int64
+	search   int64 // try seeds seed..seed+search-1, keep first failing run
+	maxSteps int64
+	quiet    bool
+}
+
+// recordModule resolves the program a -record run executes.
+func recordModule(o recordOpts) (*mir.Module, error) {
+	var m *mir.Module
+	if o.bug != "" {
+		b := bugs.ByName(o.bug)
+		if b == nil {
+			names := ""
+			for _, x := range bugs.All() {
+				names += " " + x.Name
+			}
+			return nil, fmt.Errorf("unknown bug %q (have:%s)", o.bug, names)
+		}
+		m = b.Program(bugs.Config{Light: true, ForceBug: true})
+	} else {
+		src, err := os.ReadFile(o.file)
+		if err != nil {
+			return nil, err
+		}
+		m, err = mir.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if o.hardened {
+		h, err := core.Harden(m, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		m = h.Module
+	}
+	return m, nil
+}
+
+func newSched(name string, seed int64) (sched.Scheduler, error) {
+	switch name {
+	case "random":
+		return sched.NewRandom(seed), nil
+	case "pct":
+		return sched.NewPCT(seed, 3, 64), nil
+	}
+	return nil, fmt.Errorf("unknown scheduler %q (want random or pct)", name)
+}
+
+// runRecord captures a run and writes the artifact. With search > 1 it
+// records seed after seed until one fails, keeping the failing run — the
+// common "give me a reproducer" workflow.
+func runRecord(o recordOpts) error {
+	m, err := recordModule(o)
+	if err != nil {
+		return err
+	}
+	if o.search < 1 {
+		o.search = 1
+	}
+	var (
+		res *interp.Result
+		rec *replay.Recording
+	)
+	for i := int64(0); i < o.search; i++ {
+		seed := o.seed + i
+		s, err := newSched(o.schedN, seed)
+		if err != nil {
+			return err
+		}
+		cfg := interp.Config{Sched: s, MaxSteps: o.maxSteps}
+		res, rec = replay.Record(m, cfg, replay.Meta{Seed: seed, Label: o.bug})
+		if res.Failure != nil {
+			break
+		}
+	}
+	if res.Failure == nil && o.search > 1 {
+		return fmt.Errorf("no failing run in %d seeds starting at %d; recording the last completed run instead would lie — aborting", o.search, o.seed)
+	}
+	if err := replay.WriteFile(o.out, rec); err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Printf("recorded %s under %s seed %d: %d steps, %d picks, %d switches -> %s (%d bytes)\n",
+			rec.ModuleName, rec.SchedName, rec.Seed, rec.Fingerprint.Steps,
+			rec.Picks(), rec.Switches(), o.out, len(replay.Encode(rec)))
+		fmt.Printf("outcome: %s\n", rec.Fingerprint.FailureKey())
+	}
+	return nil
+}
+
+// loadArtifact reads an artifact and resolves its module, preferring an
+// explicit .mir override (hash-checked) over the embedded text.
+func loadArtifact(path, modFile string) (*replay.Recording, *mir.Module, error) {
+	rec, err := replay.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var m *mir.Module
+	if modFile != "" {
+		src, err := os.ReadFile(modFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		if m, err = mir.Parse(string(src)); err != nil {
+			return nil, nil, err
+		}
+		if err := rec.CheckModule(m); err != nil {
+			return nil, nil, err
+		}
+	} else if m, err = rec.Module(); err != nil {
+		return nil, nil, err
+	}
+	return rec, m, nil
+}
+
+// writeTrace replays rec with the trace sink attached and writes a Chrome
+// trace of the schedule.
+func writeTrace(m *mir.Module, rec *replay.Recording, out string) error {
+	tr := obs.NewTracer(obs.DefaultTracerCap)
+	replay.Run(m, rec, replay.RunOptions{Sink: tr})
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tr.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runReplay reproduces an artifact and verifies bit-identity.
+func runReplay(path, modFile, traceOut string, quiet bool) error {
+	rec, m, err := loadArtifact(path, modFile)
+	if err != nil {
+		return err
+	}
+	r, sr := replay.Run(m, rec, replay.RunOptions{})
+	if !quiet {
+		min := ""
+		if rec.Minimized {
+			min = " (minimized)"
+		}
+		fmt.Printf("replayed %s%s: %d steps, %d picks, %d switches\n",
+			rec.ModuleName, min, r.Stats.Steps, rec.Picks(), rec.Switches())
+		fmt.Printf("outcome: %s\n", replay.FingerprintOf(r).FailureKey())
+	}
+	if traceOut != "" {
+		if err := writeTrace(m, rec, traceOut); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("trace -> %s\n", traceOut)
+		}
+	}
+	// A minimized artifact's stream is edited and leans on the replay
+	// scheduler's deterministic fallbacks, so divergences are expected
+	// there; raw recordings must replay divergence-free.
+	if d := sr.Diverged(); d > 0 && !rec.Minimized {
+		return fmt.Errorf("replay diverged on %d decisions", d)
+	}
+	if got := replay.FingerprintOf(r); got != rec.Fingerprint {
+		return fmt.Errorf("fingerprint mismatch:\n got %+v\nwant %+v", got, rec.Fingerprint)
+	}
+	if !quiet {
+		fmt.Println("verified: bit-identical to the recorded run")
+	}
+	return nil
+}
+
+// runMinimize ddmin-shrinks a failing artifact.
+func runMinimize(path, modFile, out, traceOut string, budget int, quiet bool) error {
+	rec, m, err := loadArtifact(path, modFile)
+	if err != nil {
+		return err
+	}
+	min, err := replay.Minimize(m, rec, replay.MinimizeOptions{ProbeBudget: budget})
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Println(min)
+		fmt.Printf("failure: %s\n", min.Rec.Fingerprint.FailureKey())
+	}
+	if out != "" {
+		if err := replay.WriteFile(out, min.Rec); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("minimized artifact -> %s\n", out)
+		}
+	}
+	if traceOut != "" {
+		if err := writeTrace(m, min.Rec, traceOut); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("minimized trace -> %s\n", traceOut)
+		}
+	}
+	return nil
+}

@@ -4,12 +4,19 @@
 // Usage:
 //
 //	mirrun [-seed N] [-sched random|rr] [-quantum N] [-max-steps N]
-//	       [-stats] [-trace] [-trace-json out.json] [-sanitize] prog.mir
+//	       [-stats] [-trace] [-trace-json out.json] [-sanitize]
+//	       [-record out.cnr] prog.mir
+//	mirrun -replay rec.cnr [flags] [prog.mir]
 //
 // The exit status is the program's exit code on completion, or 1 on a
 // detected failure (which is printed to stderr). With -sanitize the run
 // is watched by the dynamic race/deadlock sanitizer; reports go to
 // stderr and force exit status 1 even when the program itself succeeds.
+//
+// -record captures the run's scheduler decision stream as a replayable
+// artifact; -replay reproduces such an artifact bit-identically (the
+// program comes from the artifact itself unless a prog.mir is given) and
+// warns on any divergence from the recorded fingerprint.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"conair/internal/interp"
 	"conair/internal/mir"
 	"conair/internal/obs"
+	"conair/internal/replay"
 	"conair/internal/sanitizer"
 	"conair/internal/sched"
 )
@@ -33,36 +41,76 @@ func main() {
 	trace := flag.Bool("trace", false, "trace every executed instruction to stderr (slow)")
 	traceJSON := flag.String("trace-json", "", "write a Chrome trace_event JSON file of the run")
 	sanitize := flag.Bool("sanitize", false, "attach the dynamic race/deadlock sanitizer")
+	record := flag.String("record", "", "write a replayable schedule recording (.cnr) of the run")
+	replayPath := flag.String("replay", "", "replay a schedule recording (.cnr) instead of running live")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
+	var (
+		m   *mir.Module
+		rec *replay.Recording
+		err error
+	)
+	switch {
+	case *replayPath != "":
+		if rec, err = replay.ReadFile(*replayPath); err != nil {
+			fatal(err)
+		}
+		if flag.NArg() > 1 {
+			fatal(fmt.Errorf("-replay takes at most one prog.mir argument"))
+		}
+		if flag.NArg() == 1 {
+			if m = loadModule(flag.Arg(0)); m != nil {
+				if err := rec.CheckModule(m); err != nil {
+					fatal(err)
+				}
+			}
+		} else if m, err = rec.Module(); err != nil {
+			fatal(err)
+		}
+	case flag.NArg() != 1:
 		fmt.Fprintln(os.Stderr, "usage: mirrun [flags] prog.mir")
 		flag.PrintDefaults()
 		os.Exit(2)
-	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	m, err := mir.Parse(string(src))
-	if err != nil {
-		fatal(err)
+	default:
+		m = loadModule(flag.Arg(0))
 	}
 	if m.Main() < 0 {
-		fatal(fmt.Errorf("%s: no main function", flag.Arg(0)))
+		fatal(fmt.Errorf("%s: no main function", m.Name))
 	}
 
-	var s sched.Scheduler
-	switch *schedName {
-	case "random":
-		s = sched.NewRandom(*seed)
-	case "rr":
-		s = sched.NewRoundRobin(*quantum, *seed)
-	default:
-		fatal(fmt.Errorf("unknown scheduler %q", *schedName))
+	var (
+		s  sched.Scheduler
+		sr *sched.SegmentReplay
+	)
+	if rec != nil {
+		sr = sched.NewSegmentReplay(rec.Segments, rec.Intns)
+		s = sr
+	} else {
+		switch *schedName {
+		case "random":
+			s = sched.NewRandom(*seed)
+		case "rr":
+			s = sched.NewRoundRobin(*quantum, *seed)
+		default:
+			fatal(fmt.Errorf("unknown scheduler %q", *schedName))
+		}
 	}
 
 	cfg := interp.Config{Sched: s, MaxSteps: *maxSteps, CollectOutput: true}
+	if rec != nil {
+		// Replay under the recorded knobs; CollectOutput stays on (it is
+		// observation-only and lets the replay print the program's output).
+		cfg.MaxSteps = rec.MaxSteps
+		cfg.MaxThreads = rec.MaxThreads
+		cfg.NoDeadlockCycles = rec.NoDeadlockCycles
+	}
+	var finish func(*interp.Result) *replay.Recording
+	if *record != "" {
+		if rec != nil {
+			fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
+		}
+		cfg, finish = replay.Capture(m, cfg, replay.Meta{Seed: *seed, Label: "mirrun"})
+	}
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
@@ -77,6 +125,24 @@ func main() {
 		cfg.Sanitizer = san
 	}
 	r := interp.RunModule(m, cfg)
+	if finish != nil {
+		out := finish(r)
+		if err := replay.WriteFile(*record, out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mirrun: recorded %d picks, %d switches, outcome %s -> %s\n",
+			out.Picks(), out.Switches(), out.Fingerprint.FailureKey(), *record)
+	}
+	if sr != nil {
+		if d := sr.Diverged(); d > 0 && !rec.Minimized {
+			fmt.Fprintf(os.Stderr, "mirrun: replay diverged on %d decisions\n", d)
+		} else if got := replay.FingerprintOf(r); got != rec.Fingerprint {
+			fmt.Fprintf(os.Stderr, "mirrun: replay fingerprint mismatch (got %s, recorded %s)\n",
+				got.FailureKey(), rec.Fingerprint.FailureKey())
+		} else if *stats {
+			fmt.Fprintln(os.Stderr, "mirrun: replay verified: bit-identical to the recorded run")
+		}
+	}
 	if sink != nil {
 		f, err := os.Create(*traceJSON)
 		if err != nil {
@@ -121,6 +187,19 @@ func main() {
 		os.Exit(1)
 	}
 	os.Exit(int(r.ExitCode & 0x7f))
+}
+
+// loadModule reads and parses a .mir file, exiting on error.
+func loadModule(path string) *mir.Module {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := mir.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return m
 }
 
 func fatal(err error) {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"conair/internal/interp"
 	"conair/internal/obs"
+	"conair/internal/replay"
 )
 
 // reg is the process-wide metrics registry every experiment sweep reports
@@ -15,6 +16,7 @@ var reg = obs.NewRegistry()
 func init() {
 	eng.Reg = reg
 	interp.SetMetricsRegistry(reg)
+	replay.SetMetricsRegistry(reg)
 }
 
 // Registry exposes the experiment metrics registry.

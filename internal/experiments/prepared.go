@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"conair/internal/bugs"
 	"conair/internal/core"
 	"conair/internal/interp"
 	"conair/internal/mir"
+	"conair/internal/replay"
 	"conair/internal/runner"
 )
 
@@ -20,6 +23,29 @@ var eng runner.Engine
 func SetWorkers(n int) int {
 	prev := eng.Workers
 	eng.Workers = n
+	return prev
+}
+
+// SetAutoRecord attaches (or, with nil, detaches) an auto-recorder: every
+// failing run the experiment engine executes is then written to disk as a
+// replayable schedule artifact. Returns the previous recorder. Not safe
+// to call while sweeps are in flight.
+func SetAutoRecord(a *replay.AutoRecorder) *replay.AutoRecorder {
+	prev := eng.Recorder
+	eng.Recorder = a
+	return prev
+}
+
+// SetStop installs the engine's graceful-drain flag: once the flag reads
+// true, running jobs finish and queued jobs are skipped. conair-bench's
+// SIGINT handler sets it.
+func SetStop(f *atomic.Bool) { eng.Stop = f }
+
+// SetJobTimeout arms a per-run wall-clock watchdog on every engine job;
+// 0 disables. Returns the previous setting.
+func SetJobTimeout(d time.Duration) time.Duration {
+	prev := eng.JobTimeout
+	eng.JobTimeout = d
 	return prev
 }
 

@@ -8,6 +8,7 @@ import (
 	"conair/internal/interp"
 	"conair/internal/mir"
 	"conair/internal/mirgen"
+	"conair/internal/replay"
 	"conair/internal/sanitizer"
 	"conair/internal/sched"
 )
@@ -19,10 +20,13 @@ import (
 
 // SanitizeRun executes mod once under cfg with a fresh sanitizer attached,
 // recording the sanitizer's counters in the experiment metrics registry.
+// The run goes through the engine's hardened job path, so when
+// auto-recording is on (conair-bench -record) every failing sanitize-search
+// run lands on disk as a replayable schedule artifact.
 func SanitizeRun(mod *mir.Module, cfg interp.Config) (*sanitizer.Sanitizer, *interp.Result) {
 	san := sanitizer.New(mod)
 	cfg.Sanitizer = san
-	r := interp.RunModule(mod, cfg)
+	r := eng.RunJob(mod, cfg, replay.Meta{Label: mod.Name + "-sanitize"})
 	san.RecordMetrics(reg)
 	return san, r
 }

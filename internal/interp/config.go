@@ -18,6 +18,7 @@ package interp
 
 import (
 	"io"
+	"sync/atomic"
 
 	"conair/internal/mir"
 	"conair/internal/obs"
@@ -81,6 +82,14 @@ type Config struct {
 	// and the nil default costs one pointer check per hook site with zero
 	// allocations.
 	Sanitizer Sanitizer
+	// Interrupt, when non-nil, is a cooperative cancellation flag: the run
+	// loop polls it every interruptPeriod steps and aborts the run with a
+	// hang failure ("interrupted") once it reads true. It is the runner's
+	// wall-clock watchdog hook; unlike MaxSteps the abort point is
+	// timing-dependent, so interrupted runs are not deterministic. When
+	// nil — the default — the loop pays one pointer compare per poll site
+	// and nothing else.
+	Interrupt *atomic.Bool
 }
 
 // Defaults for Config zero values.

@@ -3,11 +3,23 @@ package interp
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"conair/internal/mir"
 	"conair/internal/obs"
 	"conair/internal/sched"
 )
+
+// interruptMask throttles Config.Interrupt polling: the flag is consulted
+// only on steps where step&interruptMask == 0, so an enabled watchdog
+// costs one atomic load per 64K instructions, and a disabled one a single
+// pointer compare at those steps.
+const interruptMask = 1<<16 - 1
+
+// interrupted reports whether the watchdog flag fired for this step.
+func (vm *VM) interrupted(step int64) bool {
+	return vm.intr != nil && step&interruptMask == 0 && vm.intr.Load()
+}
 
 // VM executes one MIR module run. Create with New, drive with Run.
 type VM struct {
@@ -37,6 +49,11 @@ type VM struct {
 
 	// san mirrors cfg.Sanitizer under the same nil-check contract as sink.
 	san Sanitizer
+
+	// intr mirrors cfg.Interrupt; the run loop polls it every
+	// interruptPeriod steps (a mask check plus one atomic load) and aborts
+	// with a hang failure when it reads true.
+	intr *atomic.Bool
 
 	// rnd is cfg.Sched devirtualized: non-nil when the scheduler is the
 	// default *sched.Random, letting the per-step pick call the concrete
@@ -94,6 +111,7 @@ func New(mod *mir.Module, cfg Config) *VM {
 		pools: make([][][2][]mir.Word, len(mod.Functions)),
 		sink:  cfg.Sink,
 		san:   cfg.Sanitizer,
+		intr:  cfg.Interrupt,
 	}
 	vm.rnd, _ = cfg.Sched.(*sched.Random)
 	vm.mainTID = vm.spawn(mi, nil)
@@ -287,6 +305,10 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 			vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
 			return executed
 		}
+		if vm.interrupted(vm.step) {
+			vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "interrupted by watchdog")
+			return executed
+		}
 		// Inlined pick fast path: every thread runnable under the default
 		// random scheduler. Same draw arithmetic (and draw count) as
 		// pickThread → Intn, minus two call frames per instruction.
@@ -343,6 +365,11 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 						vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
 						return true
 					}
+					if vm.interrupted(step) {
+						vm.step, vm.sbInstrs = step, instrs
+						vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "interrupted by watchdog")
+						return true
+					}
 					nt := live[rnd.ReduceDraw(rnd.Int31(), n)]
 					if vm.sink != nil {
 						vm.sink.Record(obs.Event{
@@ -374,6 +401,10 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 					vm.sbInstrs++
 					if vm.step >= max {
 						vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
+						return true
+					}
+					if vm.interrupted(vm.step) {
+						vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "interrupted by watchdog")
 						return true
 					}
 					nt, ok := vm.pickThread()

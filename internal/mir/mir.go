@@ -333,6 +333,11 @@ const (
 	FailSegfault
 	FailDeadlock
 	FailHang
+	// FailPanic marks a run whose host goroutine panicked (an interpreter
+	// or harness defect, not a modeled program failure). The runner's
+	// per-job recovery converts such panics into failed results carrying
+	// the stack, so one bad job never takes a batch down.
+	FailPanic
 )
 
 var failNames = [...]string{
@@ -341,6 +346,7 @@ var failNames = [...]string{
 	FailSegfault:    "segfault",
 	FailDeadlock:    "deadlock",
 	FailHang:        "hang",
+	FailPanic:       "panic",
 }
 
 // String returns the failure-kind name used in reports.

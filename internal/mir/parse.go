@@ -302,7 +302,32 @@ func splitArgs(s string) []string {
 	return out
 }
 
+// cutSiteTag strips a trailing " !site N" recovery-site annotation as
+// emitted by FormatInstr. A "!site" not followed by a bare integer to the
+// end of the line (e.g. inside a quoted string, which always closes with
+// a quote) is left alone.
+func cutSiteTag(line string) (body string, site int, ok bool) {
+	i := strings.LastIndex(line, "!site")
+	if i < 0 {
+		return line, 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(line[i+len("!site"):]))
+	if err != nil {
+		return line, 0, false
+	}
+	return strings.TrimSpace(line[:i]), n, true
+}
+
 func (p *parser) instr(line string) (Instr, error) {
+	body, site, tagged := cutSiteTag(line)
+	in, err := p.instrBody(body)
+	if err == nil && tagged {
+		in.Site = site
+	}
+	return in, err
+}
+
+func (p *parser) instrBody(line string) (Instr, error) {
 	in := Instr{Dst: -1}
 	rest := line
 	if strings.HasPrefix(line, "%") {

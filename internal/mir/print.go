@@ -41,8 +41,20 @@ func Print(m *Module) string {
 	return sb.String()
 }
 
-// FormatInstr renders one instruction in textual syntax.
+// FormatInstr renders one instruction in textual syntax. Instructions
+// tagged with a recovery site (the transform annotates the guarded
+// branch, fail, timedlock and dereference at each failure site) carry a
+// trailing "!site N" annotation, except checkpoint/rollback whose syntax
+// already encodes the site.
 func FormatInstr(m *Module, f *Function, in *Instr) string {
+	s := formatInstrBody(m, f, in)
+	if in.Site != 0 && in.Op != OpCheckpoint && in.Op != OpRollback {
+		s += " !site " + strconv.Itoa(in.Site)
+	}
+	return s
+}
+
+func formatInstrBody(m *Module, f *Function, in *Instr) string {
 	opnd := func(o Operand) string {
 		switch o.Kind {
 		case OperandReg:

@@ -1,0 +1,104 @@
+package replay
+
+// AutoRecorder is the always-on forensics hook: the runner attaches one
+// to its engine and every failing job's recording lands on disk as a
+// replayable .cnr artifact, named and numbered deterministically. It is
+// safe for concurrent use by the runner's worker pool.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"conair/internal/interp"
+)
+
+// AutoRecorder writes recordings of failing runs into a directory.
+type AutoRecorder struct {
+	// Dir is the output directory; created on first write.
+	Dir string
+	// All also records completed (non-failing) runs. Default: failures only.
+	All bool
+
+	mu      sync.Mutex
+	seq     int
+	written []string
+	errs    []error
+}
+
+// NewAutoRecorder returns a recorder writing into dir.
+func NewAutoRecorder(dir string) *AutoRecorder { return &AutoRecorder{Dir: dir} }
+
+// sanitize maps a free-form label into a filesystem-safe token.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		default:
+			b.WriteRune('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "run"
+	}
+	return b.String()
+}
+
+// Save writes the recording if its run qualifies (failed, or All is set).
+// It returns the written path, or "" when the run was skipped. Write
+// errors are retained (see Err) rather than propagated, so a full disk
+// never aborts a sweep mid-flight.
+func (a *AutoRecorder) Save(rec *Recording, r *interp.Result) string {
+	if r.Failure == nil && !a.All {
+		return ""
+	}
+	kind := "ok"
+	if r.Failure != nil {
+		kind = r.Failure.Kind.String()
+	}
+	name := rec.Label
+	if name == "" {
+		name = rec.ModuleName
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	path := filepath.Join(a.Dir, fmt.Sprintf("%s-%04d-%s.cnr", sanitize(name), a.seq, sanitize(kind)))
+	if err := os.MkdirAll(a.Dir, 0o755); err != nil {
+		a.errs = append(a.errs, err)
+		return ""
+	}
+	if err := WriteFile(path, rec); err != nil {
+		a.errs = append(a.errs, err)
+		return ""
+	}
+	a.written = append(a.written, path)
+	if reg := metricsRegistry.Load(); reg != nil {
+		reg.Counter("replay_recordings_written_total").Inc()
+	}
+	return path
+}
+
+// Written returns the paths written so far, in write order.
+func (a *AutoRecorder) Written() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.written...)
+}
+
+// Err returns the first retained write error, or nil.
+func (a *AutoRecorder) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.errs) == 0 {
+		return nil
+	}
+	return a.errs[0]
+}

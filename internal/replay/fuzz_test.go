@@ -1,0 +1,70 @@
+package replay
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"conair/internal/mir"
+	"conair/internal/sched"
+)
+
+// FuzzDecodeRecording pins the decoder's two safety properties on
+// arbitrary input:
+//
+//  1. totality — Decode never panics, whatever the bytes;
+//  2. decode∘encode is a fixed point — any input Decode accepts
+//     re-encodes to an artifact that decodes to the same Recording, and
+//     re-encoding the re-decode is byte-stable.
+//
+// Truncated, corrupted and version-bumped variants of valid artifacts are
+// seeded so the fuzzer starts at the interesting boundaries.
+func FuzzDecodeRecording(f *testing.F) {
+	seedRec := &Recording{
+		ModuleName: "fuzz-seed",
+		ModuleHash: "feed",
+		ModuleText: "module fuzz-seed\n",
+		SchedName:  "random",
+		Seed:       3,
+		MaxSteps:   1000,
+		Fingerprint: Fingerprint{
+			Failed: true, FailKind: mir.FailAssert,
+			FailPos: mir.Pos{Fn: 1}, FailStep: 42, FailMsg: "boom",
+		},
+		Segments: []sched.Segment{{TID: 0, N: 20}, {TID: 1, N: 5}},
+		Intns:    []int64{1, 2},
+	}
+	valid := Encode(seedRec)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add(valid[:4])
+	f.Add([]byte{})
+	f.Add([]byte("CNR\x01"))
+	mut := append([]byte{}, valid...)
+	mut[7] ^= 0xFF
+	f.Add(mut)
+	ver := append([]byte{}, valid[:len(valid)-4]...)
+	ver[4] = FormatVersion + 1
+	f.Add(appendCRC(ver))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Decode(data) // must never panic
+		if err != nil {
+			if rec != nil {
+				t.Fatal("Decode returned a recording alongside an error")
+			}
+			return
+		}
+		enc := Encode(rec)
+		rec2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded artifact failed: %v", err)
+		}
+		if !reflect.DeepEqual(rec, rec2) {
+			t.Fatalf("decode/encode not a fixed point\n got %+v\nwant %+v", rec2, rec)
+		}
+		if enc2 := Encode(rec2); !bytes.Equal(enc, enc2) {
+			t.Fatal("encode not byte-stable across a decode cycle")
+		}
+	})
+}

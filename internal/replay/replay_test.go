@@ -1,0 +1,218 @@
+package replay_test
+
+import (
+	"reflect"
+	"testing"
+
+	"conair/internal/bugs"
+	"conair/internal/core"
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/mirgen"
+	"conair/internal/replay"
+	"conair/internal/sched"
+)
+
+const testMaxSteps = 20_000_000
+
+func pctCfg(seed int64) interp.Config {
+	return interp.Config{Sched: sched.NewPCT(seed, 3, 64), MaxSteps: testMaxSteps}
+}
+
+func randCfg(seed int64) interp.Config {
+	return interp.Config{Sched: sched.NewRandom(seed), MaxSteps: testMaxSteps}
+}
+
+// normalize strips nil-vs-empty encoding details before DeepEqual.
+func normalize(r *interp.Result) *interp.Result {
+	cp := *r
+	if len(cp.Stats.CheckpointExecs) == 0 {
+		cp.Stats.CheckpointExecs = nil
+	}
+	return &cp
+}
+
+// roundTrip records one run of mod under cfg, replays it through an
+// encode/decode cycle, and requires the replayed Result to DeepEqual the
+// recorded one with an identical fingerprint and zero divergences.
+func roundTrip(t *testing.T, mod *mir.Module, cfg interp.Config, label string) *replay.Recording {
+	t.Helper()
+	orig, rec := replay.Record(mod, cfg, replay.Meta{Label: label})
+
+	decoded, err := replay.Decode(replay.Encode(rec))
+	if err != nil {
+		t.Fatalf("%s: decode(encode): %v", label, err)
+	}
+	m2, err := decoded.Module()
+	if err != nil {
+		t.Fatalf("%s: embedded module: %v", label, err)
+	}
+	got, sr := replay.Run(m2, decoded, replay.RunOptions{})
+	if d := sr.Diverged(); d > 0 {
+		t.Fatalf("%s: replay diverged on %d decisions", label, d)
+	}
+	if !reflect.DeepEqual(normalize(got), normalize(orig)) {
+		t.Fatalf("%s: replayed Result differs from recorded run\n got %+v\nwant %+v",
+			label, got, orig)
+	}
+	if fp := replay.FingerprintOf(got); fp != rec.Fingerprint {
+		t.Fatalf("%s: fingerprint mismatch\n got %+v\nwant %+v", label, fp, rec.Fingerprint)
+	}
+	if err := replay.Verify(mod, decoded); err != nil {
+		t.Fatalf("%s: Verify: %v", label, err)
+	}
+	return rec
+}
+
+// TestPaperBugsRoundTrip records every paper benchmark bug — raw forced
+// program and survival-hardened variant — under PCT search schedules and
+// requires each recording to replay bit-identically.
+func TestPaperBugsRoundTrip(t *testing.T) {
+	for _, b := range bugs.All() {
+		raw := b.Program(bugs.Config{Light: true, ForceBug: true})
+		h, err := core.Harden(raw, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: harden: %v", b.Name, err)
+		}
+		failed := false
+		for seed := int64(0); seed < 3; seed++ {
+			rec := roundTrip(t, raw, pctCfg(seed), b.Name+"-raw")
+			failed = failed || rec.Fingerprint.Failed
+			roundTrip(t, h.Module, pctCfg(seed), b.Name+"-hardened")
+		}
+		if !failed {
+			t.Errorf("%s: no PCT seed in the search failed on the raw forced program", b.Name)
+		}
+	}
+}
+
+// templateConfigs yields the 50 mirgen bug-template generator seeds the
+// replay and minimization tests sweep, cycling the three template kinds.
+func templateConfigs() []mirgen.Config {
+	kinds := []mirgen.BugKind{mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion}
+	cfgs := make([]mirgen.Config, 0, 50)
+	for i := 0; i < 50; i++ {
+		cfgs = append(cfgs, mirgen.Config{Seed: int64(i), Threads: 2, Bug: kinds[i%len(kinds)]})
+	}
+	return cfgs
+}
+
+// TestMirgenTemplatesRoundTrip records 50 generated bug templates under
+// PCT search schedules; every recording — failing or not — must replay to
+// a DeepEqual Result and identical fingerprint.
+func TestMirgenTemplatesRoundTrip(t *testing.T) {
+	for _, gc := range templateConfigs() {
+		mod, info := mirgen.GenWithInfo(gc)
+		if info == nil {
+			t.Fatalf("seed %d: no injected bug", gc.Seed)
+		}
+		label := info.Kind.String()
+		for seed := int64(0); seed < 2; seed++ {
+			roundTrip(t, mod, pctCfg(seed), label)
+		}
+	}
+}
+
+// recordFailure searches scheduler seeds for a failing run of mod and
+// returns its recording, or nil when the budget stays clean.
+func recordFailure(mod *mir.Module, budget int64, cfg func(int64) interp.Config) *replay.Recording {
+	for seed := int64(0); seed < budget; seed++ {
+		_, rec := replay.Record(mod, cfg(seed), replay.Meta{Seed: seed})
+		if rec.Fingerprint.Failed {
+			return rec
+		}
+	}
+	return nil
+}
+
+// TestMinimizeMirgenTemplates is the ddmin property test: for every
+// mirgen bug template whose failure a random-schedule search finds, the
+// minimized stream must still fail with the same failure key, be
+// 1-minimal within the probe budget, and cut the context-switch count of
+// the recorded schedule by at least 5x.
+func TestMinimizeMirgenTemplates(t *testing.T) {
+	minimized := 0
+	for _, gc := range templateConfigs() {
+		mod, info := mirgen.GenWithInfo(gc)
+		rec := recordFailure(mod, 10, randCfg)
+		if rec == nil {
+			// Not every template fails under every schedule (atomicity and
+			// lock-inversion bugs are schedule-dependent); the ones that do
+			// carry the assertions.
+			continue
+		}
+		label := info.Kind.String()
+		min, err := replay.Minimize(mod, rec, replay.MinimizeOptions{})
+		if err != nil {
+			t.Fatalf("%s seed %d: minimize: %v", label, gc.Seed, err)
+		}
+
+		// Property 1: the minimized stream still produces the same failure.
+		if !min.Rec.Fingerprint.SameFailure(rec.Fingerprint) {
+			t.Fatalf("%s seed %d: minimized failure %s, want %s",
+				label, gc.Seed, min.Rec.Fingerprint.FailureKey(), rec.Fingerprint.FailureKey())
+		}
+		// Property 2: 1-minimality — removing any single remaining segment
+		// loses the failure. Minimize already verified this via its singles
+		// pass; re-check independently on the final stream.
+		if !min.OneMinimal {
+			t.Errorf("%s seed %d: minimization did not reach 1-minimality within %d probes",
+				label, gc.Seed, min.Probes)
+		} else {
+			for i := range min.Rec.Segments {
+				if len(min.Rec.Segments) == 1 {
+					break
+				}
+				cand := *min.Rec
+				cand.Segments = sched.MergeSegments(
+					append(append([]sched.Segment{}, min.Rec.Segments[:i]...), min.Rec.Segments[i+1:]...))
+				r, _ := replay.Run(mod, &cand, replay.RunOptions{MaxSteps: 4 * rec.Fingerprint.Steps})
+				if replay.FingerprintOf(r).SameFailure(rec.Fingerprint) {
+					t.Fatalf("%s seed %d: not 1-minimal: segment %d/%d is removable",
+						label, gc.Seed, i, len(min.Rec.Segments))
+				}
+			}
+		}
+		// Property 3: >=5x context-switch reduction on the recorded schedule.
+		if min.SwitchesAfter*5 > min.SwitchesBefore {
+			t.Errorf("%s seed %d: switches %d -> %d, want >=5x reduction",
+				label, gc.Seed, min.SwitchesBefore, min.SwitchesAfter)
+		}
+		// The minimized artifact must itself survive an encode/decode/verify
+		// round trip.
+		dec, err := replay.Decode(replay.Encode(min.Rec))
+		if err != nil {
+			t.Fatalf("%s seed %d: decode minimized: %v", label, gc.Seed, err)
+		}
+		if err := replay.Verify(mod, dec); err != nil {
+			t.Fatalf("%s seed %d: verify minimized: %v", label, gc.Seed, err)
+		}
+		minimized++
+	}
+	if minimized < 20 {
+		t.Fatalf("only %d/50 templates produced a failing recording to minimize; the search is broken", minimized)
+	}
+	t.Logf("minimized %d/50 template failures", minimized)
+}
+
+// TestMinimizeRejectsCompletedRun pins the minimizer's precondition.
+func TestMinimizeRejectsCompletedRun(t *testing.T) {
+	mod := mirgen.Gen(mirgen.Config{Seed: 1})
+	_, rec := replay.Record(mod, randCfg(1), replay.Meta{})
+	if rec.Fingerprint.Failed {
+		t.Fatal("failure-free generated program failed")
+	}
+	if _, err := replay.Minimize(mod, rec, replay.MinimizeOptions{}); err == nil {
+		t.Fatal("Minimize accepted a recording of a completed run")
+	}
+}
+
+// TestVerifyDetectsWrongModule pins the module-hash guard.
+func TestVerifyDetectsWrongModule(t *testing.T) {
+	modA := mirgen.Gen(mirgen.Config{Seed: 1})
+	modB := mirgen.Gen(mirgen.Config{Seed: 2})
+	_, rec := replay.Record(modA, randCfg(1), replay.Meta{})
+	if err := replay.Verify(modB, rec); err == nil {
+		t.Fatal("Verify accepted a recording against the wrong module")
+	}
+}

@@ -9,11 +9,20 @@
 // Modules are shared read-only across workers (the interpreter never
 // mutates its module), and each job constructs its own scheduler, so runs
 // never share mutable state.
+//
+// The engine is also the process's robustness boundary: a panicking job
+// becomes a failed result (mir.FailPanic) with its stack captured instead
+// of killing the pool, per-job wall-clock watchdogs abort wedged runs via
+// the interpreter's cooperative Interrupt flag, a Stop flag drains the
+// pool gracefully (running jobs finish, queued jobs are skipped), and an
+// attached replay.AutoRecorder turns every failing run into a replayable
+// schedule artifact.
 package runner
 
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +30,7 @@ import (
 	"conair/internal/interp"
 	"conair/internal/mir"
 	"conair/internal/obs"
+	"conair/internal/replay"
 	"conair/internal/sched"
 )
 
@@ -34,7 +44,26 @@ type Engine struct {
 	// counters (engine_worker_<k>_*) from which utilization is derived.
 	// Instrumentation never affects job order or results.
 	Reg *obs.Registry
+	// Stop, when non-nil, is the graceful-drain flag: once it reads true
+	// no further jobs are dispatched; jobs already running finish
+	// normally. A stopped batch's results are partial — boolean verdicts
+	// (All, AllComplete) from a stopped batch must not be trusted as
+	// exhaustive. SIGINT handling in conair-bench sets it.
+	Stop *atomic.Bool
+	// JobTimeout, when positive, arms a per-run wall-clock watchdog on
+	// every interpreter job the engine executes (Run, RunSeeds,
+	// AllComplete, RunJob): the run is interrupted cooperatively via
+	// interp.Config.Interrupt and comes back as a hang failure instead of
+	// wedging a worker forever.
+	JobTimeout time.Duration
+	// Recorder, when non-nil, captures the schedule of every interpreter
+	// job the engine executes and writes failing runs to disk as
+	// replayable artifacts (see replay.AutoRecorder).
+	Recorder *replay.AutoRecorder
 }
+
+// stopped reports whether the graceful-drain flag is set.
+func (e Engine) stopped() bool { return e.Stop != nil && e.Stop.Load() }
 
 // workers resolves the pool size.
 func (e Engine) workers() int {
@@ -142,6 +171,12 @@ func (e Engine) each(n int, fn func(i int) bool) bool {
 			call = func(i int) bool { return in.run(0, i, fn) }
 		}
 		for i := 0; i < n; i++ {
+			if e.stopped() {
+				if in != nil {
+					in.depth.Add(-int64(n - i)) // drained jobs leave the queue
+				}
+				return false
+			}
 			if !call(i) {
 				if in != nil {
 					in.depth.Add(-int64(n - i - 1)) // cancelled jobs leave the queue
@@ -152,15 +187,27 @@ func (e Engine) each(n int, fn func(i int) bool) bool {
 		return true
 	}
 	var (
-		cursor atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
+		cursor    atomic.Int64
+		failed    atomic.Bool
+		panicOnce sync.Once
+		panicVal  any
 	)
+	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
 		go func(worker int) {
 			defer wg.Done()
-			for !failed.Load() {
+			// A panic in fn would otherwise kill the whole process (an
+			// unrecovered goroutine panic is fatal). Capture the first one,
+			// stop dispatching, let the other workers drain, and re-raise it
+			// from the caller's goroutine after wg.Wait.
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicVal = p })
+					failed.Store(true)
+				}
+			}()
+			for !failed.Load() && !e.stopped() {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
@@ -179,16 +226,21 @@ func (e Engine) each(n int, fn func(i int) bool) bool {
 		}(k)
 	}
 	wg.Wait()
-	if in != nil && failed.Load() {
-		// Jobs cancelled by the early exit never ran; drain them from the
-		// queue-depth gauge so it returns to its resting level.
+	if in != nil {
+		// Jobs cancelled by an early exit (failure, stop or panic) never
+		// ran; drain them from the queue-depth gauge so it returns to its
+		// resting level. On a full batch done clamps to n and this is a
+		// no-op.
 		done := int64(cursor.Load())
 		if done > int64(n) {
 			done = int64(n)
 		}
 		in.depth.Add(-(int64(n) - done))
 	}
-	return !failed.Load()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return !failed.Load() && !e.stopped()
 }
 
 // Job is one seeded interpreter run.
@@ -199,10 +251,42 @@ type Job struct {
 	Cfg func() interp.Config
 }
 
+// RunJob executes one interpreter run with the engine's hardening
+// attached: the wall-clock watchdog (JobTimeout), schedule capture
+// (Recorder) and panic containment. A panic inside the interpreter comes
+// back as a failed result of kind mir.FailPanic whose message carries the
+// panic value and stack — the pool and the remaining jobs are unaffected.
+func (e Engine) RunJob(mod *mir.Module, cfg interp.Config, meta replay.Meta) (res *interp.Result) {
+	if e.JobTimeout > 0 && cfg.Interrupt == nil {
+		var flag atomic.Bool
+		cfg.Interrupt = &flag
+		t := time.AfterFunc(e.JobTimeout, func() { flag.Store(true) })
+		defer t.Stop()
+	}
+	var finish func(*interp.Result) *replay.Recording
+	if e.Recorder != nil {
+		cfg, finish = replay.Capture(mod, cfg, meta)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res = &interp.Result{Failure: &interp.Failure{
+				Kind: mir.FailPanic,
+				Msg:  fmt.Sprintf("panic: %v\n%s", p, debug.Stack()),
+			}}
+		}
+		if finish != nil && res != nil {
+			// Even a panicked run's partial schedule is worth keeping: it is
+			// the prefix that drove the interpreter into the panic.
+			e.Recorder.Save(finish(res), res)
+		}
+	}()
+	return interp.RunModule(mod, cfg)
+}
+
 // Run executes the jobs and returns results in job order.
 func (e Engine) Run(jobs []Job) []*interp.Result {
 	return Map(e, len(jobs), func(i int) *interp.Result {
-		return interp.RunModule(jobs[i].Mod, jobs[i].Cfg())
+		return e.RunJob(jobs[i].Mod, jobs[i].Cfg(), replay.Meta{Label: jobs[i].Mod.Name})
 	})
 }
 
@@ -214,7 +298,7 @@ func SeedConfig(seed, maxSteps int64) interp.Config {
 // RunSeeds executes mod once per seed and returns results in seed order.
 func (e Engine) RunSeeds(mod *mir.Module, seeds []int64, maxSteps int64) []*interp.Result {
 	return Map(e, len(seeds), func(i int) *interp.Result {
-		return interp.RunModule(mod, SeedConfig(seeds[i], maxSteps))
+		return e.RunJob(mod, SeedConfig(seeds[i], maxSteps), replay.Meta{Seed: seeds[i], Label: mod.Name})
 	})
 }
 
@@ -223,7 +307,7 @@ func (e Engine) RunSeeds(mod *mir.Module, seeds []int64, maxSteps int64) []*inte
 // identical to the sequential sweep's.
 func (e Engine) AllComplete(mod *mir.Module, runs int, maxSteps int64) bool {
 	return e.All(runs, func(i int) bool {
-		return interp.RunModule(mod, SeedConfig(int64(i), maxSteps)).Completed
+		return e.RunJob(mod, SeedConfig(int64(i), maxSteps), replay.Meta{Seed: int64(i), Label: mod.Name}).Completed
 	})
 }
 

@@ -2,11 +2,16 @@ package runner
 
 import (
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"conair/internal/bugs"
 	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/replay"
+	"conair/internal/sched"
 )
 
 func TestMapOrderingDeterministic(t *testing.T) {
@@ -89,5 +94,129 @@ func TestAllCompleteMatchesSequentialVerdict(t *testing.T) {
 	got := Engine{Workers: 4}.AllComplete(forced, 16, 0)
 	if got != want {
 		t.Errorf("parallel verdict %v, sequential %v", got, want)
+	}
+}
+
+// panickingModule builds a structurally valid module whose first
+// instruction references a global the module does not declare, which
+// panics the interpreter (RunModule does not re-verify) — the in-process
+// stand-in for any interpreter bug a fuzzer might trip mid-sweep.
+func panickingModule() *mir.Module {
+	m := mir.MustParse(`
+module bad
+func main() {
+entry:
+  %x = const 1
+  ret 0
+}
+`)
+	in := &m.Functions[0].Blocks[0].Instrs[0]
+	in.Op, in.Global = mir.OpLoadG, 99
+	return m
+}
+
+func okModule() *mir.Module {
+	return mir.MustParse(`
+module ok
+func main() {
+entry:
+  ret 0
+}
+`)
+}
+
+// TestRunJobContainsPanic pins the robustness boundary: a panic inside the
+// interpreter comes back as a FailPanic result carrying the panic value
+// and stack, not as a process crash.
+func TestRunJobContainsPanic(t *testing.T) {
+	res := Engine{}.RunJob(panickingModule(),
+		interp.Config{Sched: sched.NewRandom(1), MaxSteps: 1000}, replay.Meta{})
+	if res.Failure == nil || res.Failure.Kind != mir.FailPanic {
+		t.Fatalf("result = %+v, want FailPanic failure", res)
+	}
+	if !strings.Contains(res.Failure.Msg, "panic:") {
+		t.Errorf("failure message lacks panic value: %q", res.Failure.Msg)
+	}
+}
+
+// TestPanickingJobDoesNotKillBatch injects one panicking job into a
+// parallel batch: the pool must survive and every other job must complete
+// and land at its own index.
+func TestPanickingJobDoesNotKillBatch(t *testing.T) {
+	bad, good := panickingModule(), okModule()
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		m := good
+		if i == 3 {
+			m = bad
+		}
+		jobs[i] = Job{Mod: m, Cfg: func() interp.Config {
+			return interp.Config{Sched: sched.NewRandom(1), MaxSteps: 1000}
+		}}
+	}
+	out := Engine{Workers: 4}.Run(jobs)
+	for i, r := range out {
+		if i == 3 {
+			if r.Failure == nil || r.Failure.Kind != mir.FailPanic {
+				t.Fatalf("job 3 = %+v, want FailPanic", r)
+			}
+			continue
+		}
+		if !r.Completed {
+			t.Errorf("job %d did not complete after sibling panicked: %+v", i, r)
+		}
+	}
+}
+
+// TestEachRepanicsFromCaller: a panic in a raw pool callback (not routed
+// through RunJob) is re-raised on the caller's goroutine after the pool
+// drains, never silently swallowed and never fatal to the process.
+func TestEachRepanicsFromCaller(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("recovered %v, want the job's panic value", p)
+		}
+	}()
+	Engine{Workers: 4}.Each(100, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Each returned normally despite a panicking job")
+}
+
+// TestJobTimeoutWatchdog: a wedged run (unbounded self-loop) under a
+// JobTimeout engine is interrupted cooperatively and reported as a hang
+// failure instead of occupying a worker forever.
+func TestJobTimeoutWatchdog(t *testing.T) {
+	loop := mir.MustParse(`
+module spin
+func main() {
+entry:
+  jmp entry
+}
+`)
+	e := Engine{JobTimeout: 30 * time.Millisecond}
+	res := e.RunJob(loop, interp.Config{Sched: sched.NewRandom(1)}, replay.Meta{})
+	if res.Failure == nil || res.Failure.Kind != mir.FailHang {
+		t.Fatalf("result = %+v, want FailHang from the watchdog", res)
+	}
+	if !strings.Contains(res.Failure.Msg, "interrupted") {
+		t.Errorf("failure message %q does not mention the interrupt", res.Failure.Msg)
+	}
+}
+
+// TestStopDrainsPool: once the graceful-drain flag is set, no further jobs
+// are dispatched and the batch reports incompleteness.
+func TestStopDrainsPool(t *testing.T) {
+	var stop atomic.Bool
+	stop.Store(true)
+	var executed atomic.Int64
+	e := Engine{Workers: 4, Stop: &stop}
+	if e.All(1000, func(i int) bool { executed.Add(1); return true }) {
+		t.Error("stopped batch reported a complete verdict")
+	}
+	if n := executed.Load(); n != 0 {
+		t.Errorf("%d jobs dispatched after stop", n)
 	}
 }
