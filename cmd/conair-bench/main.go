@@ -65,7 +65,16 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	recordDir := flag.String("record", "", "write every failing run as a replayable .cnr schedule recording into this directory")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-run wall-clock watchdog (0 = off); wedged runs come back as hang failures")
+	serveAddr := flag.String("serve", "", "serve live telemetry on this address (/metrics, /runs, /events, /healthz, /debug/pprof/) and arm the always-on flight recorder")
+	serveWait := flag.Bool("serve-wait", false, "with -serve: keep the telemetry server up after the sections finish, until SIGINT")
+	flightDir := flag.String("flight-dir", "conair-flight", "with -serve: directory flight recordings of failing runs are flushed into on interrupt")
+	checkExposition := flag.String("check-exposition", "", "validate a Prometheus text exposition file (e.g. a scraped /metrics) and exit")
 	flag.Parse()
+
+	if *checkExposition != "" {
+		runCheckExposition(*checkExposition)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -127,10 +136,10 @@ func main() {
 			// All recordings are written synchronously by the workers; by the
 			// time the sections return (or the drain completes) everything is
 			// flushed — this just reports the forensics haul.
-			fmt.Fprintf(os.Stderr, "conair-bench: %d schedule recording(s) -> %s\n",
-				len(recorder.Written()), recorder.Dir)
+			logger.Info("schedule recordings written",
+				"count", len(recorder.Written()), "dir", recorder.Dir)
 			if err := recorder.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "conair-bench: recording error:", err)
+				logger.Error("recording error", "err", err)
 			}
 		}()
 	}
@@ -140,23 +149,29 @@ func main() {
 	// partial tables still print. A second ^C kills the process normally.
 	stop := &atomic.Bool{}
 	experiments.SetStop(stop)
+	interrupted := make(chan struct{})
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
 	go func() {
 		<-sigc
 		stop.Store(true)
-		fmt.Fprintln(os.Stderr, "conair-bench: interrupt — draining workers; results below are partial (^C again to kill)")
+		logger.Warn("interrupt: draining workers; results will be partial (^C again to kill)")
 		signal.Stop(sigc)
+		close(interrupted)
 	}()
 	defer func() {
 		if stop.Load() {
-			fmt.Fprintln(os.Stderr, "conair-bench: interrupted; results are partial")
+			logger.Warn("interrupted; results are partial")
 		}
 	}()
+	if *serveAddr != "" {
+		startTelemetry(*serveAddr)
+		defer finishTelemetry(*serveWait, *flightDir, interrupted, stop)
+	}
 	// The header records the effective worker count (the -json config block
 	// captures the same value), so BENCH_*.json snapshots are attributable.
-	fmt.Fprintf(os.Stderr, "conair-bench: %d worker(s), GOMAXPROCS=%d, %s\n",
-		*workers, runtime.GOMAXPROCS(0), runtime.Version())
+	logger.Info("start", "workers", *workers,
+		"gomaxprocs", runtime.GOMAXPROCS(0), "go", runtime.Version())
 	if *csvOut {
 		emit = func(t *report.Table) { fmt.Print(t.CSV()) }
 	}

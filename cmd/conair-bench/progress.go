@@ -12,11 +12,13 @@ import (
 // flag; on by default, and harmless to pipe since tables go to stdout).
 var progressOn = true
 
-// track runs one section body and prints a progress line to stderr,
+// track runs one section body and logs a structured progress line,
 // driven by the experiment metrics registry: interpreter runs and steps
-// completed during the section, plus throughput over its wall time.
+// completed during the section, plus throughput over its wall time. The
+// same measurements are published as a "section" SSE event when the
+// telemetry server is up, keyed identically.
 func track(name string, fn func()) {
-	if !progressOn {
+	if !progressOn && telemetry == nil {
 		fn()
 		return
 	}
@@ -31,9 +33,19 @@ func track(name string, fn func()) {
 	if elapsed <= 0 {
 		elapsed = 1e-9
 	}
-	fmt.Fprintf(os.Stderr, "conair-bench: %s: %d runs, %s steps in %.2fs (%.0f runs/sec, %s steps/sec)\n",
-		name, runs, siCount(steps), elapsed,
-		float64(runs)/elapsed, siCount(int64(float64(steps)/elapsed)))
+	runsPerSec := float64(runs) / elapsed
+	stepsPerSec := int64(float64(steps) / elapsed)
+	if progressOn {
+		logger.Info("section done", "section", name,
+			"runs", runs, "steps", siCount(steps), "wallSecs", fmt.Sprintf("%.2f", elapsed),
+			"runsPerSec", fmt.Sprintf("%.0f", runsPerSec), "stepsPerSec", siCount(stepsPerSec))
+	}
+	if telemetry != nil {
+		telemetry.Publish("section", map[string]any{
+			"section": name, "runs": runs, "steps": steps,
+			"wallSecs": elapsed, "runsPerSec": runsPerSec, "stepsPerSec": stepsPerSec,
+		})
+	}
 }
 
 // siCount renders a count with an SI suffix for readability (steps run to

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"log/slog"
+	"os"
+	"sync/atomic"
+
+	"conair/internal/experiments"
+	"conair/internal/obs"
+	"conair/internal/obs/serve"
+	"conair/internal/runner"
+)
+
+// logger is the structured stderr logger all bench status output goes
+// through (tables still go to stdout, so -json and piped table output are
+// unaffected). The handler drops the time attribute: with wall-clock out
+// of the line, the emitted keys are deterministic and greppable, and two
+// runs differ only in the measured values.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+	ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+		if len(groups) == 0 && a.Key == slog.TimeKey {
+			return slog.Attr{}
+		}
+		return a
+	},
+}))
+
+// telemetry is the live server when -serve is set; nil otherwise. track()
+// publishes section events through it, and the exit path flushes its
+// flight recordings.
+var telemetry *serve.Server
+
+// startTelemetry brings up the live server on addr, arms the always-on
+// flight recorder, and routes every engine job into the server's run
+// registry.
+func startTelemetry(addr string) {
+	telemetry = serve.New(experiments.Registry())
+	experiments.SetRunHook(telemetry.Hook())
+	experiments.SetFlightLimit(runner.DefaultFlightLimit)
+	bound, err := telemetry.Start(addr)
+	if err != nil {
+		logger.Error("telemetry server failed to start", "addr", addr, "err", err)
+		os.Exit(1)
+	}
+	logger.Info("telemetry serving", "addr", bound.String(),
+		"endpoints", "/metrics /runs /events /healthz /debug/pprof/")
+}
+
+// finishTelemetry is the -serve exit path: with -serve-wait it keeps the
+// server up after the sections complete until SIGINT (so CI and humans
+// can scrape a finished sweep), and on interrupt it flushes the retained
+// flight recordings of failing runs to flightDir.
+func finishTelemetry(wait bool, flightDir string, interrupted <-chan struct{}, stop *atomic.Bool) {
+	if telemetry == nil {
+		return
+	}
+	if wait && !stop.Load() {
+		logger.Info("serve-wait: sections done, telemetry still serving; ^C to exit")
+		<-interrupted
+	}
+	if stop.Load() && flightDir != "" {
+		if err := os.MkdirAll(flightDir, 0o755); err != nil {
+			logger.Error("flight flush", "err", err)
+		} else {
+			paths, err := telemetry.FlushFlight(flightDir)
+			if err != nil {
+				logger.Error("flight flush", "err", err)
+			}
+			logger.Info("flight recordings flushed", "count", len(paths), "dir", flightDir)
+		}
+	}
+	telemetry.Close()
+}
+
+// runCheckExposition validates a Prometheus text exposition file (the
+// -check-exposition mode CI uses on scraped /metrics output) and exits.
+func runCheckExposition(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		logger.Error("check-exposition", "err", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(data); err != nil {
+		logger.Error("check-exposition: invalid exposition", "file", path, "err", err)
+		os.Exit(1)
+	}
+	logger.Info("check-exposition: exposition valid", "file", path, "bytes", len(data))
+}

@@ -27,6 +27,13 @@
 //
 // It exits 1 when the sanitizer reports anything, 0 when the whole
 // schedule budget stays clean.
+//
+// With -serve ADDR every mode also exposes the live telemetry plane
+// (/metrics, /runs, /events, /healthz, /debug/pprof/): completed runs
+// land in the run registry, sanitize schedules carry always-on flight
+// recordings (a failing schedule is downloadable as a replayable .cnr at
+// /runs/{id}/recording), and the server keeps serving after the work
+// completes until interrupted.
 package main
 
 import (
@@ -35,11 +42,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"conair/internal/analysis"
 	"conair/internal/core"
 	"conair/internal/interp"
 	"conair/internal/mir"
+	"conair/internal/replay"
+	"conair/internal/runner"
 	"conair/internal/sanitizer"
 	"conair/internal/sched"
 )
@@ -75,7 +85,13 @@ func main() {
 	minimize := flag.String("minimize", "", "minimize mode: ddmin-shrink a failing recording (.cnr) to a minimal schedule")
 	probeBudget := flag.Int("probe-budget", 0, "minimize mode: probe replay budget (0 = default)")
 	minTrace := flag.String("min-trace", "", "replay/minimize mode: write a Chrome trace of the (minimized) schedule")
+	serveAddr := flag.String("serve", "", "serve live telemetry on host:port (keeps serving after the work completes; ^C to exit)")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		startTelemetry(*serveAddr)
+		defer waitTelemetry()
+	}
 
 	if *record != "" || *replayPath != "" || *minimize != "" {
 		modFile := ""
@@ -137,7 +153,10 @@ func main() {
 	}
 
 	if *sanitize {
-		runSanitize(m, *sanitizeBudget, *sanitizeMaxSteps, *quiet)
+		if runSanitize(m, *sanitizeBudget, *sanitizeMaxSteps, *quiet) {
+			waitTelemetry()
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -197,16 +216,32 @@ func main() {
 }
 
 // runSanitize searches PCT schedule seeds 0..budget-1 with the sanitizer
-// attached and prints every distinct report. Exits 1 on any finding.
-func runSanitize(m *mir.Module, budget, maxSteps int64, quiet bool) {
+// attached and prints every distinct report. Reports whether anything was
+// found (the caller exits 1). With -serve, each schedule runs under the
+// flight recorder and lands in the run registry, so the schedule behind a
+// report is downloadable as a replayable .cnr.
+func runSanitize(m *mir.Module, budget, maxSteps int64, quiet bool) bool {
 	seen := map[string]bool{}
 	runs := int64(0)
 	for seed := int64(0); seed < budget; seed++ {
 		san := sanitizer.New(m)
-		interp.RunModule(m, interp.Config{
+		cfg := interp.Config{
 			Sched:     sched.NewPCT(seed, 3, 64),
 			MaxSteps:  maxSteps,
 			Sanitizer: san,
+		}
+		cfg, flight := flightConfig(m, cfg, replay.Meta{Seed: seed, Label: m.Name + "-sanitize"})
+		start := time.Now()
+		r := interp.RunModule(m, cfg)
+		var rec *replay.Recording
+		if flight != nil {
+			rec = flight.Finish(r)
+		}
+		registerRun(runner.RunInfo{
+			Label: m.Name + "-sanitize", Seed: seed, Sched: "pct",
+			Elapsed: time.Since(start), Result: r,
+			Recording:          rec,
+			RecordingTruncated: flight != nil && rec == nil,
 		})
 		runs++
 		for _, rep := range san.Reports() {
@@ -221,9 +256,7 @@ func runSanitize(m *mir.Module, budget, maxSteps int64, quiet bool) {
 		fmt.Fprintf(os.Stderr, "conair: sanitize: %d schedules searched, %d distinct reports\n",
 			runs, len(seen))
 	}
-	if len(seen) > 0 {
-		os.Exit(1)
-	}
+	return len(seen) > 0
 }
 
 // parseSite resolves "func:op:nth".

@@ -19,6 +19,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"conair/internal/bugs"
 	"conair/internal/core"
@@ -26,6 +27,7 @@ import (
 	"conair/internal/mir"
 	"conair/internal/obs"
 	"conair/internal/replay"
+	"conair/internal/runner"
 	"conair/internal/sched"
 )
 
@@ -96,6 +98,10 @@ func runRecord(o recordOpts) error {
 	if o.search < 1 {
 		o.search = 1
 	}
+	label := o.bug
+	if label == "" {
+		label = m.Name
+	}
 	var (
 		res *interp.Result
 		rec *replay.Recording
@@ -107,7 +113,12 @@ func runRecord(o recordOpts) error {
 			return err
 		}
 		cfg := interp.Config{Sched: s, MaxSteps: o.maxSteps}
+		start := time.Now()
 		res, rec = replay.Record(m, cfg, replay.Meta{Seed: seed, Label: o.bug})
+		registerRun(runner.RunInfo{
+			Label: label, Seed: seed, Sched: o.schedN,
+			Elapsed: time.Since(start), Result: res, Recording: rec,
+		})
 		if res.Failure != nil {
 			break
 		}
@@ -174,7 +185,12 @@ func runReplay(path, modFile, traceOut string, quiet bool) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	r, sr := replay.Run(m, rec, replay.RunOptions{})
+	registerRun(runner.RunInfo{
+		Label: rec.ModuleName, Seed: rec.Seed, Sched: rec.SchedName,
+		Elapsed: time.Since(start), Result: r, Recording: rec,
+	})
 	if !quiet {
 		min := ""
 		if rec.Minimized {
@@ -216,6 +232,16 @@ func runMinimize(path, modFile, out, traceOut string, budget int, quiet bool) er
 	min, err := replay.Minimize(m, rec, replay.MinimizeOptions{ProbeBudget: budget})
 	if err != nil {
 		return err
+	}
+	if telemetry != nil {
+		// One verification replay of the minimized artifact puts it in the
+		// run registry, downloadable alongside the original.
+		start := time.Now()
+		r, _ := replay.Run(m, min.Rec, replay.RunOptions{})
+		registerRun(runner.RunInfo{
+			Label: min.Rec.ModuleName + "-minimized", Seed: min.Rec.Seed, Sched: min.Rec.SchedName,
+			Elapsed: time.Since(start), Result: r, Recording: min.Rec,
+		})
 	}
 	if !quiet {
 		fmt.Println(min)

@@ -1,0 +1,83 @@
+package main
+
+// -serve wiring: every conair mode can expose the live telemetry plane.
+// The one-shot modes (record, replay, minimize, trace, sanitize) register
+// their runs in the server's run registry and then keep serving until ^C,
+// so a finished command can still be scraped, profiled, and post-mortemed:
+//
+//	conair -serve :9090 -sanitize prog.mir
+//	curl localhost:9090/runs              # every schedule searched
+//	curl localhost:9090/runs/3/recording  # replayable .cnr of a failure
+//
+// Sanitize runs are armed with the always-on flight recorder, so the
+// schedule that triggered a report arrives as a downloadable artifact
+// even though -record was never passed.
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+
+	"conair/internal/interp"
+	"conair/internal/mir"
+	"conair/internal/obs"
+	"conair/internal/obs/serve"
+	"conair/internal/replay"
+	"conair/internal/runner"
+)
+
+// telemetry is the live server when -serve is set (nil otherwise);
+// telemetryHook is its run-registry feed.
+var (
+	telemetry     *serve.Server
+	telemetryHook runner.RunHook
+)
+
+// startTelemetry brings up the live endpoint and routes the interpreter
+// and replay metric streams into its registry, so even one-shot CLI modes
+// expose a real /metrics scrape.
+func startTelemetry(addr string) {
+	reg := obs.NewRegistry()
+	interp.SetMetricsRegistry(reg)
+	replay.SetMetricsRegistry(reg)
+	telemetry = serve.New(reg)
+	telemetryHook = telemetry.Hook()
+	bound, err := telemetry.Start(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "conair: telemetry serving on http://%s (/metrics /runs /events /healthz /debug/pprof/)\n", bound)
+}
+
+// registerRun feeds one completed run into the telemetry run registry; a
+// no-op when -serve is off.
+func registerRun(info runner.RunInfo) {
+	if telemetryHook != nil {
+		telemetryHook(info)
+	}
+}
+
+// flightConfig arms cfg with the always-on bounded flight recorder when
+// the telemetry server is up, so any failing run yields a replayable
+// artifact at /runs/{id}/recording without -record. The returned capture
+// is nil when -serve is off.
+func flightConfig(mod *mir.Module, cfg interp.Config, meta replay.Meta) (interp.Config, *replay.FlightCapture) {
+	if telemetry == nil {
+		return cfg, nil
+	}
+	return replay.CaptureFlight(mod, cfg, meta, runner.DefaultFlightLimit)
+}
+
+// waitTelemetry keeps the server alive after the command's work completes
+// until SIGINT, then shuts it down. A no-op when -serve is off.
+func waitTelemetry() {
+	if telemetry == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "conair: work done, telemetry still serving; ^C to exit")
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	telemetry.Close()
+	telemetry = nil
+}

@@ -3,11 +3,13 @@ package main
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"conair/internal/bugs"
 	"conair/internal/core"
 	"conair/internal/interp"
 	"conair/internal/obs"
+	"conair/internal/runner"
 	"conair/internal/sched"
 )
 
@@ -68,7 +70,12 @@ func runTrace(o traceOpts) error {
 		MaxSteps: o.maxSteps,
 		Sink:     tr,
 	}
+	start := time.Now()
 	r := interp.RunModule(h.Module, cfg)
+	registerRun(runner.RunInfo{
+		Label: b.Name + "-trace", Seed: o.seed, Sched: "random",
+		Elapsed: time.Since(start), Result: r,
+	})
 
 	f, err := os.Create(o.out)
 	if err != nil {

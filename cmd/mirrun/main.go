@@ -17,17 +17,26 @@
 // artifact; -replay reproduces such an artifact bit-identically (the
 // program comes from the artifact itself unless a prog.mir is given) and
 // warns on any divergence from the recorded fingerprint.
+//
+// -serve ADDR exposes the live telemetry plane (/metrics, /runs,
+// /events, /healthz, /debug/pprof/). The run lands in the run registry
+// with its schedule recording — live runs are armed with the always-on
+// flight recorder, so a failure is downloadable as a replayable .cnr at
+// /runs/1/recording even without -record — and the server keeps serving
+// after the program finishes until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"conair/internal/interp"
 	"conair/internal/mir"
 	"conair/internal/obs"
 	"conair/internal/replay"
+	"conair/internal/runner"
 	"conair/internal/sanitizer"
 	"conair/internal/sched"
 )
@@ -43,7 +52,12 @@ func main() {
 	sanitize := flag.Bool("sanitize", false, "attach the dynamic race/deadlock sanitizer")
 	record := flag.String("record", "", "write a replayable schedule recording (.cnr) of the run")
 	replayPath := flag.String("replay", "", "replay a schedule recording (.cnr) instead of running live")
+	serveAddr := flag.String("serve", "", "serve live telemetry on host:port (keeps serving after the run completes; ^C to exit)")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		startTelemetry(*serveAddr)
+	}
 
 	var (
 		m   *mir.Module
@@ -111,6 +125,13 @@ func main() {
 		}
 		cfg, finish = replay.Capture(m, cfg, replay.Meta{Seed: *seed, Label: "mirrun"})
 	}
+	// Under -serve a live run without an explicit recording is armed with
+	// the always-on flight recorder, so a failure still yields a
+	// replayable artifact at /runs/1/recording.
+	var flight *replay.FlightCapture
+	if telemetry != nil && finish == nil && rec == nil {
+		cfg, flight = replay.CaptureFlight(m, cfg, replay.Meta{Seed: *seed, Label: m.Name}, runner.DefaultFlightLimit)
+	}
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
@@ -124,14 +145,31 @@ func main() {
 		san = sanitizer.New(m)
 		cfg.Sanitizer = san
 	}
+	start := time.Now()
 	r := interp.RunModule(m, cfg)
+	elapsed := time.Since(start)
+	var captured *replay.Recording
 	if finish != nil {
-		out := finish(r)
-		if err := replay.WriteFile(*record, out); err != nil {
+		captured = finish(r)
+		if err := replay.WriteFile(*record, captured); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "mirrun: recorded %d picks, %d switches, outcome %s -> %s\n",
-			out.Picks(), out.Switches(), out.Fingerprint.FailureKey(), *record)
+			captured.Picks(), captured.Switches(), captured.Fingerprint.FailureKey(), *record)
+	}
+	if telemetry != nil {
+		regRec, seedVal, schedLabel := captured, *seed, *schedName
+		if flight != nil && regRec == nil {
+			regRec = flight.Finish(r)
+		}
+		if rec != nil {
+			regRec, seedVal, schedLabel = rec, rec.Seed, rec.SchedName
+		}
+		registerRun(runner.RunInfo{
+			Label: m.Name, Seed: seedVal, Sched: schedLabel,
+			Elapsed: elapsed, Result: r, Recording: regRec,
+			RecordingTruncated: flight != nil && regRec == nil,
+		})
 	}
 	if sr != nil {
 		if d := sr.Diverged(); d > 0 && !rec.Minimized {
@@ -179,14 +217,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mirrun: sanitizer: %d further reports truncated\n", n)
 		}
 	}
+	code := int(r.ExitCode & 0x7f)
 	if r.Failure != nil {
 		fmt.Fprintln(os.Stderr, r.Failure.Error())
-		os.Exit(1)
+		code = 1
+	} else if sanFailed {
+		code = 1
 	}
-	if sanFailed {
-		os.Exit(1)
-	}
-	os.Exit(int(r.ExitCode & 0x7f))
+	waitTelemetry()
+	os.Exit(code)
 }
 
 // loadModule reads and parses a .mir file, exiting on error.

@@ -1,0 +1,63 @@
+package main
+
+// -serve wiring: mirrun can expose the live telemetry plane for its one
+// run. The run lands in the server's run registry (with its schedule
+// recording when one exists — explicit -record, replayed artifact, or the
+// always-on flight capture armed automatically under -serve), and the
+// server keeps serving after the program finishes until ^C.
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+
+	"conair/internal/interp"
+	"conair/internal/obs"
+	"conair/internal/obs/serve"
+	"conair/internal/replay"
+	"conair/internal/runner"
+)
+
+// telemetry is the live server when -serve is set (nil otherwise);
+// telemetryHook is its run-registry feed.
+var (
+	telemetry     *serve.Server
+	telemetryHook runner.RunHook
+)
+
+// startTelemetry brings up the live endpoint and routes the interpreter
+// and replay metric streams into its registry.
+func startTelemetry(addr string) {
+	reg := obs.NewRegistry()
+	interp.SetMetricsRegistry(reg)
+	replay.SetMetricsRegistry(reg)
+	telemetry = serve.New(reg)
+	telemetryHook = telemetry.Hook()
+	bound, err := telemetry.Start(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mirrun: telemetry serving on http://%s (/metrics /runs /events /healthz /debug/pprof/)\n", bound)
+}
+
+// registerRun feeds the completed run into the telemetry run registry; a
+// no-op when -serve is off.
+func registerRun(info runner.RunInfo) {
+	if telemetryHook != nil {
+		telemetryHook(info)
+	}
+}
+
+// waitTelemetry keeps the server alive after the run completes until
+// SIGINT, then shuts it down. A no-op when -serve is off.
+func waitTelemetry() {
+	if telemetry == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "mirrun: run done, telemetry still serving; ^C to exit")
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	telemetry.Close()
+	telemetry = nil
+}

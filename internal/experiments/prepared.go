@@ -49,6 +49,24 @@ func SetJobTimeout(d time.Duration) time.Duration {
 	return prev
 }
 
+// SetRunHook installs (or, with nil, removes) an observer called after
+// every engine job — the feed for the live telemetry server's run
+// registry. The hook must be safe for concurrent workers. Not safe to
+// call while sweeps are in flight.
+func SetRunHook(h runner.RunHook) { eng.RunHook = h }
+
+// SetFlightLimit arms the always-on flight recorder on every engine job
+// with the given ring capacity (runner.DefaultFlightLimit when n < 0, off
+// when 0). Ignored for jobs while an auto-recorder is attached, which
+// captures full schedules instead. Not safe to call while sweeps are in
+// flight.
+func SetFlightLimit(n int) {
+	if n < 0 {
+		n = runner.DefaultFlightLimit
+	}
+	eng.FlightLimit = n
+}
+
 // preparedBug caches every program variant and default hardening of one
 // bug, so each is built once per process instead of once per table. All
 // construction is deterministic and the interpreter never mutates a

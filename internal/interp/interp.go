@@ -61,6 +61,14 @@ type VM struct {
 	// of dispatching through the Scheduler interface.
 	rnd *sched.Random
 
+	// flight is set (alongside rnd) when cfg.Sched is a
+	// *sched.FlightRecorder wrapping a *sched.Random: the pick fast path
+	// then draws from the inner Random and reports each decision to the
+	// ring via Note/NoteRun, keeping the always-on flight recorder off the
+	// interface-dispatch slow path. Every vm.rnd pick site must pair its
+	// draw with a note, or the recorded stream would miss picks.
+	flight *sched.FlightRecorder
+
 	// live lists the ids of non-done threads in ascending id order, and
 	// waiting counts how many of them are not statusRunnable. Together they
 	// replace the per-step all-threads rescan in pickThread: when waiting
@@ -114,6 +122,11 @@ func New(mod *mir.Module, cfg Config) *VM {
 		intr:  cfg.Interrupt,
 	}
 	vm.rnd, _ = cfg.Sched.(*sched.Random)
+	if fr, ok := cfg.Sched.(*sched.FlightRecorder); ok {
+		if inner, ok := fr.Inner().(*sched.Random); ok {
+			vm.rnd, vm.flight = inner, fr
+		}
+	}
 	vm.mainTID = vm.spawn(mi, nil)
 	if vm.san != nil {
 		vm.san.ThreadSpawn(-1, vm.mainTID)
@@ -315,6 +328,7 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 		var ntid int
 		if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
 			ntid = vm.live[vm.rnd.ReduceDraw(vm.rnd.Int31(), int32(len(vm.live)))]
+			vm.noteFlight(ntid)
 		} else {
 			var ok bool
 			ntid, ok = vm.pickThread()
@@ -356,17 +370,23 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 				n := int32(len(vm.live))
 				rnd, live := vm.rnd, vm.live
 				step, instrs := vm.step, vm.sbInstrs
+				// Flight picks inside the quantum are all of the current
+				// thread until the exit draw; count them in a register and
+				// flush one RLE note per quantum instead of one per step.
+				var stay int64
 				for {
 					in.run(fr)
 					step++
 					instrs++
 					if step >= max {
 						vm.step, vm.sbInstrs = step, instrs
+						vm.noteFlightRun(tid, stay)
 						vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "step limit exceeded (hang)")
 						return true
 					}
 					if vm.interrupted(step) {
 						vm.step, vm.sbInstrs = step, instrs
+						vm.noteFlightRun(tid, stay)
 						vm.fail(mir.FailHang, mir.Pos{}, 0, -1, "interrupted by watchdog")
 						return true
 					}
@@ -378,15 +398,19 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 					}
 					if nt != tid {
 						vm.step, vm.sbInstrs = step, instrs
+						vm.noteFlightRun(tid, stay)
+						vm.noteFlight(nt)
 						tid = nt
 						t = vm.threads[tid]
 						fr = t.top()
 						code = vm.prog.funcs[fr.fn].code
 						goto dispatch
 					}
+					stay++
 					in = &code[fr.pc]
 					if in.run == nil {
 						vm.step, vm.sbInstrs = step, instrs
+						vm.noteFlightRun(tid, stay)
 						break
 					}
 				}
@@ -865,6 +889,7 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 			var ntid3 int
 			if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
 				ntid3 = vm.live[vm.rnd.ReduceDraw(vm.rnd.Int31(), int32(len(vm.live)))]
+				vm.noteFlight(ntid3)
 			} else {
 				var ok bool
 				ntid3, ok = vm.pickThread()
@@ -912,6 +937,7 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 			var ntid4 int
 			if vm.rnd != nil && vm.waiting == 0 && len(vm.live) > 0 {
 				ntid4 = vm.live[vm.rnd.ReduceDraw(vm.rnd.Int31(), int32(len(vm.live)))]
+				vm.noteFlight(ntid4)
 			} else {
 				var ok bool
 				ntid4, ok = vm.pickThread()
@@ -1006,6 +1032,22 @@ func (vm *VM) spawn(fi int, args []mir.Word) int {
 	return t.id
 }
 
+// noteFlight reports one devirtualized-fast-path pick to the flight ring;
+// the disabled path is one nil check (same contract as sink/san).
+func (vm *VM) noteFlight(tid int) {
+	if vm.flight != nil {
+		vm.flight.Note(int32(tid))
+	}
+}
+
+// noteFlightRun reports n consecutive picks of tid (a superblock
+// quantum's stay) to the flight ring in one RLE update.
+func (vm *VM) noteFlightRun(tid int, n int64) {
+	if vm.flight != nil {
+		vm.flight.NoteRun(int32(tid), n)
+	}
+}
+
 // pickThread collects runnable threads (waking sleepers and expiring lock
 // timeouts) and asks the scheduler to choose. When nothing can run it
 // reports a deadlock or ends the program.
@@ -1026,7 +1068,9 @@ func (vm *VM) pickThread() (int, bool) {
 				return 0, false
 			}
 			if vm.rnd != nil {
-				return vm.live[vm.rnd.Intn(len(vm.live))], true
+				nt := vm.live[vm.rnd.Intn(len(vm.live))]
+				vm.noteFlight(nt)
+				return nt, true
 			}
 			return vm.cfg.Sched.Pick(vm.live, vm.step), true
 		}
@@ -1077,7 +1121,9 @@ func (vm *VM) pickThread() (int, bool) {
 		vm.runnableBuf = runnable
 		if len(runnable) > 0 {
 			if vm.rnd != nil {
-				return runnable[vm.rnd.Intn(len(runnable))], true
+				nt := runnable[vm.rnd.Intn(len(runnable))]
+				vm.noteFlight(nt)
+				return nt, true
 			}
 			return vm.cfg.Sched.Pick(runnable, vm.step), true
 		}

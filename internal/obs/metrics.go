@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -92,6 +93,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -100,7 +102,17 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
+}
+
+// SetHelp attaches a one-line description to a metric name; WriteText
+// emits it as a # HELP line. Safe to call before or after the metric's
+// first use.
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
 }
 
 // Counter returns the counter registered under name, creating it if new.
@@ -206,11 +218,20 @@ func (r *Registry) WriteText(w io.Writer) error {
 		all[k] = entry{kind: "histogram", h: v}
 		names = append(names, k)
 	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
 	r.mu.Unlock()
 
 	sort.Strings(names)
 	for _, name := range names {
 		e := all[name]
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(h)); err != nil {
+				return err
+			}
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, e.kind); err != nil {
 			return err
 		}
@@ -232,4 +253,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// escapeHelp applies the exposition-format escaping for HELP text:
+// backslash and newline, in that order.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
 }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// sseEvent is one formatted server-sent event ready to write to a client.
+type sseEvent struct {
+	name string
+	data []byte // single-line JSON payload
+}
+
+// hub fans completed-run (and caller-published) events out to SSE
+// subscribers. Each subscriber gets a bounded buffered channel; a
+// subscriber that cannot keep up has events dropped (counted) rather than
+// ever blocking the publisher — telemetry must not be able to stall the
+// engine's RunHook path.
+type hub struct {
+	mu      sync.Mutex
+	subs    map[chan sseEvent]struct{}
+	dropped int64
+	closed  bool
+}
+
+// subBuffer is the per-client event buffer; beyond it events are dropped
+// for that client.
+const subBuffer = 64
+
+func newHub() *hub {
+	return &hub{subs: map[chan sseEvent]struct{}{}}
+}
+
+// subscribe registers a client channel; the returned cancel removes it.
+func (h *hub) subscribe() (<-chan sseEvent, func()) {
+	ch := make(chan sseEvent, subBuffer)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+		h.mu.Unlock()
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// publish marshals payload and sends it to every subscriber without
+// blocking; it reports how many clients dropped the event.
+func (h *hub) publish(event string, payload any) int {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{"error":"unencodable payload"}`)
+	}
+	ev := sseEvent{name: event, data: data}
+	drops := 0
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			drops++
+			h.dropped++
+		}
+	}
+	h.mu.Unlock()
+	return drops
+}
+
+// close terminates every subscriber stream.
+func (h *hub) close() {
+	h.mu.Lock()
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+	h.mu.Unlock()
+}

@@ -221,9 +221,10 @@ func Capture(mod *mir.Module, cfg interp.Config, meta Meta) (interp.Config, func
 	cfg.Sched = rec
 	knobs := cfg
 	finish := func(r *interp.Result) *Recording {
+		text, hash := artifactOf(mod)
 		out := &Recording{
 			ModuleName:       mod.Name,
-			ModuleHash:       HashModule(mod),
+			ModuleHash:       hash,
 			SchedName:        inner,
 			Seed:             meta.Seed,
 			Label:            meta.Label,
@@ -236,7 +237,7 @@ func Capture(mod *mir.Module, cfg interp.Config, meta Meta) (interp.Config, func
 			Intns:            append([]int64(nil), rec.Intns()...),
 		}
 		if !meta.OmitModule {
-			out.ModuleText = mir.Print(mod)
+			out.ModuleText = text
 		}
 		return out
 	}

@@ -60,7 +60,56 @@ type Engine struct {
 	// job the engine executes and writes failing runs to disk as
 	// replayable artifacts (see replay.AutoRecorder).
 	Recorder *replay.AutoRecorder
+	// RunHook, when non-nil, is called after every interpreter job the
+	// engine executes (Run, RunSeeds, AllComplete, RunJob) with the run's
+	// provenance, result, latency, and — when FlightLimit or Recorder is
+	// set — its schedule recording. It is the telemetry feed: the live
+	// run registry (internal/obs/serve) installs itself here. The hook
+	// runs on worker goroutines and must be safe for concurrent use; it
+	// observes results, never alters them.
+	RunHook RunHook
+	// FlightLimit, when positive, arms an always-on bounded flight
+	// recorder on every job (a sched.FlightRecorder ring of at most
+	// FlightLimit segments): any failing run yields a complete replayable
+	// recording in its RunInfo without -record having been asked for,
+	// while long healthy runs wrap the ring and cost only its memory.
+	// Ignored when Recorder is set (a full capture is already being
+	// taken). Use replay/sched defaults via DefaultFlightLimit.
+	FlightLimit int
 }
+
+// DefaultFlightLimit is the flight-recorder ring bound engines should use
+// unless they have a reason not to.
+const DefaultFlightLimit = sched.DefaultFlightSegments
+
+// RunInfo is one executed job's telemetry record, delivered to RunHook.
+type RunInfo struct {
+	// Label and Seed are the job's replay.Meta provenance (Label is the
+	// bug or module name by convention).
+	Label string
+	Seed  int64
+	// Sched names the job's scheduler ("random", "pct", ...).
+	Sched string
+	// Elapsed is the job's wall-clock latency.
+	Elapsed time.Duration
+	// Result is the run's outcome (never nil; a panicked job arrives as a
+	// mir.FailPanic result).
+	Result *interp.Result
+	// Recording is the job's schedule recording: the full capture when
+	// the engine has a Recorder, the flight-ring capture when FlightLimit
+	// is set, nil otherwise — and nil when the flight ring wrapped (see
+	// RecordingTruncated).
+	Recording *replay.Recording
+	// RecordingTruncated reports that a flight recording existed but
+	// wrapped its ring, so no complete replayable stream survives.
+	RecordingTruncated bool
+	// RecordingPath is the on-disk artifact path when an AutoRecorder
+	// wrote one ("" otherwise).
+	RecordingPath string
+}
+
+// RunHook observes completed jobs; see Engine.RunHook.
+type RunHook func(RunInfo)
 
 // stopped reports whether the graceful-drain flag is set.
 func (e Engine) stopped() bool { return e.Stop != nil && e.Stop.Load() }
@@ -114,6 +163,7 @@ type instr struct {
 	depth   *obs.Gauge
 	latency *obs.Histogram
 	workers []workerObs
+	settled atomic.Int64 // jobs that individually left the queue
 }
 
 // newInstr registers the batch in reg and returns per-batch handles.
@@ -137,16 +187,20 @@ func newInstr(reg *obs.Registry, w, n int) *instr {
 }
 
 // run executes one job under instrumentation (worker is the pool slot).
+// The accounting is deferred so a job that panics still leaves the queue
+// and still charges its worker for the time it burned.
 func (in *instr) run(worker, i int, fn func(i int) bool) bool {
 	start := time.Now()
-	ok := fn(i)
-	ns := time.Since(start).Nanoseconds()
-	in.jobs.Inc()
-	in.depth.Add(-1)
-	in.latency.Observe(ns)
-	in.workers[worker].jobs.Inc()
-	in.workers[worker].busy.Add(ns)
-	return ok
+	defer func() {
+		ns := time.Since(start).Nanoseconds()
+		in.jobs.Inc()
+		in.depth.Add(-1)
+		in.settled.Add(1)
+		in.latency.Observe(ns)
+		in.workers[worker].jobs.Inc()
+		in.workers[worker].busy.Add(ns)
+	}()
+	return fn(i)
 }
 
 // each is the pool core: an atomic job cursor drained by w workers.
@@ -163,6 +217,11 @@ func (e Engine) each(n int, fn func(i int) bool) bool {
 	var in *instr
 	if e.Reg != nil {
 		in = newInstr(e.Reg, w, n)
+		// Jobs that never run — cancelled by an early exit, the Stop flag,
+		// or a panic — must still leave the queue-depth gauge. One deferred
+		// reconciliation covers every exit path (including a re-raised
+		// panic); on a full batch settled == n and this is a no-op.
+		defer func() { in.depth.Add(-(int64(n) - in.settled.Load())) }()
 	}
 	call := fn
 	if w == 1 {
@@ -172,15 +231,9 @@ func (e Engine) each(n int, fn func(i int) bool) bool {
 		}
 		for i := 0; i < n; i++ {
 			if e.stopped() {
-				if in != nil {
-					in.depth.Add(-int64(n - i)) // drained jobs leave the queue
-				}
 				return false
 			}
 			if !call(i) {
-				if in != nil {
-					in.depth.Add(-int64(n - i - 1)) // cancelled jobs leave the queue
-				}
 				return false
 			}
 		}
@@ -226,17 +279,6 @@ func (e Engine) each(n int, fn func(i int) bool) bool {
 		}(k)
 	}
 	wg.Wait()
-	if in != nil {
-		// Jobs cancelled by an early exit (failure, stop or panic) never
-		// ran; drain them from the queue-depth gauge so it returns to its
-		// resting level. On a full batch done clamps to n and this is a
-		// no-op.
-		done := int64(cursor.Load())
-		if done > int64(n) {
-			done = int64(n)
-		}
-		in.depth.Add(-(int64(n) - done))
-	}
 	if panicVal != nil {
 		panic(panicVal)
 	}
@@ -257,6 +299,11 @@ type Job struct {
 // back as a failed result of kind mir.FailPanic whose message carries the
 // panic value and stack — the pool and the remaining jobs are unaffected.
 func (e Engine) RunJob(mod *mir.Module, cfg interp.Config, meta replay.Meta) (res *interp.Result) {
+	start := time.Now()
+	schedName := "random"
+	if cfg.Sched != nil {
+		schedName = cfg.Sched.Name()
+	}
 	if e.JobTimeout > 0 && cfg.Interrupt == nil {
 		var flag atomic.Bool
 		cfg.Interrupt = &flag
@@ -264,8 +311,11 @@ func (e Engine) RunJob(mod *mir.Module, cfg interp.Config, meta replay.Meta) (re
 		defer t.Stop()
 	}
 	var finish func(*interp.Result) *replay.Recording
+	var flight *replay.FlightCapture
 	if e.Recorder != nil {
 		cfg, finish = replay.Capture(mod, cfg, meta)
+	} else if e.FlightLimit > 0 {
+		cfg, flight = replay.CaptureFlight(mod, cfg, meta, e.FlightLimit)
 	}
 	defer func() {
 		if p := recover(); p != nil {
@@ -274,10 +324,44 @@ func (e Engine) RunJob(mod *mir.Module, cfg interp.Config, meta replay.Meta) (re
 				Msg:  fmt.Sprintf("panic: %v\n%s", p, debug.Stack()),
 			}}
 		}
-		if finish != nil && res != nil {
-			// Even a panicked run's partial schedule is worth keeping: it is
-			// the prefix that drove the interpreter into the panic.
-			e.Recorder.Save(finish(res), res)
+		if res == nil {
+			return
+		}
+		var rec *replay.Recording
+		truncated := false
+		path := ""
+		func() {
+			// Building the artifact prints and hashes the module; a module
+			// malformed enough to panic the interpreter can panic the printer
+			// too. The contained FailPanic result must survive even when no
+			// artifact can be built from it.
+			defer func() {
+				if recover() != nil {
+					rec, truncated, path = nil, false, ""
+				}
+			}()
+			switch {
+			case finish != nil:
+				// Even a panicked run's partial schedule is worth keeping: it
+				// is the prefix that drove the interpreter into the panic.
+				rec = finish(res)
+				path = e.Recorder.Save(rec, res)
+			case flight != nil:
+				rec = flight.Finish(res)
+				truncated = rec == nil
+			}
+		}()
+		if e.RunHook != nil {
+			e.RunHook(RunInfo{
+				Label:              meta.Label,
+				Seed:               meta.Seed,
+				Sched:              schedName,
+				Elapsed:            time.Since(start),
+				Result:             res,
+				Recording:          rec,
+				RecordingTruncated: truncated,
+				RecordingPath:      path,
+			})
 		}
 	}()
 	return interp.RunModule(mod, cfg)

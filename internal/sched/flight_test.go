@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFlightRecorderTransparent pins the flight recorder's observational
+// contract: a wrapped scheduler returns exactly the decisions the
+// unwrapped one would, for Pick and Intn, even while the ring wraps.
+func TestFlightRecorderTransparent(t *testing.T) {
+	plain := NewRandom(42)
+	fr := NewFlightRecorder(NewRandom(42), 8) // tiny ring: wraps constantly
+
+	runnable := [][]int{
+		{0}, {0, 1}, {0, 1, 2}, {1, 2}, {0, 2, 5, 9}, {3}, {0, 1, 2, 3, 4},
+	}
+	var picks int64
+	for step := int64(0); step < 10_000; step++ {
+		r := runnable[int(step)%len(runnable)]
+		if got, want := fr.Pick(r, step), plain.Pick(r, step); got != want {
+			t.Fatalf("step %d: flight pick %d, plain pick %d", step, got, want)
+		}
+		picks++
+		if step%97 == 0 {
+			n := int(step%7) + 2
+			if got, want := fr.Intn(n), plain.Intn(n); got != want {
+				t.Fatalf("step %d: flight Intn %d, plain %d", step, got, want)
+			}
+		}
+	}
+	if fr.Picks() != picks {
+		t.Fatalf("Picks() = %d, want %d", fr.Picks(), picks)
+	}
+	if !fr.Truncated() {
+		t.Fatal("10k picks through an 8-segment ring did not truncate")
+	}
+	segs, dropped, _ := fr.Dropped()
+	var retained int64
+	for _, s := range fr.Segments() {
+		retained += s.N
+	}
+	if dropped+retained != picks {
+		t.Fatalf("dropped %d + retained %d picks != %d observed (%d segments evicted)",
+			dropped, retained, picks, segs)
+	}
+}
+
+// TestFlightRecorderMatchesRecorder checks that an un-wrapped (never
+// truncated) flight recording is segment-for-segment identical to a full
+// Recorder capture of the same run — the property that makes a failing
+// run's flight tape a complete, bit-identical replayable artifact.
+func TestFlightRecorderMatchesRecorder(t *testing.T) {
+	full := NewRecorder(NewRandom(9))
+	fr := NewFlightRecorder(NewRandom(9), 1<<16)
+
+	runnable := [][]int{{0, 1, 2, 3}, {1, 3}, {0, 2}, {2, 3, 4}}
+	for step := int64(0); step < 20_000; step++ {
+		r := runnable[int(step)%len(runnable)]
+		full.Pick(r, step)
+		fr.Pick(r, step)
+		if step%11 == 0 {
+			full.Intn(6)
+			fr.Intn(6)
+		}
+	}
+	if fr.Truncated() {
+		t.Fatal("ring truncated below its capacity")
+	}
+	if !reflect.DeepEqual(fr.Segments(), full.Segments()) {
+		t.Fatalf("flight segments diverge from full recorder:\n flight %d segs\n full %d segs",
+			len(fr.Segments()), len(full.Segments()))
+	}
+	if !reflect.DeepEqual(fr.Intns(), full.Intns()) {
+		t.Fatal("flight Intn stream diverges from full recorder")
+	}
+}
+
+// TestFlightRecorderRingOrder drives a deterministic pick pattern through
+// a tiny ring and checks the retained segments are exactly the newest
+// ones, oldest first.
+func TestFlightRecorderRingOrder(t *testing.T) {
+	fr := NewFlightRecorder(NewScripted([]int{1, 2, 3, 4, 5, 6, 7}, 1), 3)
+	for step := int64(0); step < 7; step++ {
+		// Only the scripted thread is runnable, so each pick is a new
+		// single-pick segment.
+		fr.Pick([]int{1, 2, 3, 4, 5, 6, 7}, step)
+	}
+	want := []Segment{{TID: 5, N: 1}, {TID: 6, N: 1}, {TID: 7, N: 1}}
+	if got := fr.Segments(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring retained %+v, want %+v", got, want)
+	}
+	segs, picks, _ := fr.Dropped()
+	if segs != 4 || picks != 4 {
+		t.Fatalf("Dropped() = (%d segs, %d picks), want (4, 4)", segs, picks)
+	}
+}
+
+// TestFlightRecorderLastSegmentExtends pins the RLE boundary case around
+// eviction: a repeated pick extends the newest segment in place rather
+// than evicting another slot.
+func TestFlightRecorderLastSegmentExtends(t *testing.T) {
+	fr := NewFlightRecorder(NewScripted([]int{1, 2, 3, 4, 4, 4}, 1), 3)
+	for step := int64(0); step < 6; step++ {
+		fr.Pick([]int{1, 2, 3, 4}, step)
+	}
+	want := []Segment{{TID: 2, N: 1}, {TID: 3, N: 1}, {TID: 4, N: 3}}
+	if got := fr.Segments(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring retained %+v, want %+v", got, want)
+	}
+}
