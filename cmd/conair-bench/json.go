@@ -95,6 +95,7 @@ func runJSON(w io.Writer, sel selection) bool {
 	}
 	if sel.want(3) {
 		section("table3", func() any { return experiments.Table3(sel.runs, sel.seeds) })
+		section("table3corpus", func() any { return experiments.Table3Corpus(sel.runs) })
 	}
 	if sel.want(4) && sel.figure != 4 {
 		section("table4", func() any { return experiments.Table4() })

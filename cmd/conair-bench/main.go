@@ -315,6 +315,18 @@ func printTable3(runs, overheadSeeds int) {
 			report.VerdictCell(r.Sanitizer))
 	}
 	emit(t)
+
+	c := report.NewTable(
+		fmt.Sprintf("Table 3 (corpus): labelled real-bug models (%d forced runs/mode; fixed twin = modelled upstream fix)", runs),
+		"Model", "Cause", "Symptom", "Recovered(fix)", "Recovered(survival)", "Fixed twin clean", "Sanitizer")
+	for _, r := range experiments.Table3Corpus(runs) {
+		c.Row(r.Name, r.RootCause, r.Symptom,
+			report.Check(r.RecoveredFix, false),
+			report.Check(r.RecoveredSurvival, false),
+			report.Check(r.FixedTwinClean, false),
+			report.VerdictCell(r.Sanitizer))
+	}
+	emit(c)
 }
 
 func printTable4() {

@@ -57,6 +57,15 @@ func PruneSite(site Site, region *Region, slice *Slice) PruneVerdict {
 	}
 	switch site.Kind {
 	case SiteDeadlock:
+		if site.Op == mir.OpWait || site.Op == mir.OpChSend {
+			// A timed-out wait or send re-reads its blocking condition on
+			// reexecution — the signalled predicate, the channel's
+			// occupancy — the way a segfault site re-reads its pointer,
+			// so the no-lock-in-region rule does not apply: rolling back
+			// helps even when nothing is released (the peer may have set
+			// the predicate or drained the channel in the meantime).
+			return KeepSite
+		}
 		if !region.HasLockAcquire {
 			return PruneNoLockInRegion
 		}

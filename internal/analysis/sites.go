@@ -49,6 +49,11 @@ type Site struct {
 	ID   int
 	Kind SiteKind
 	Pos  mir.Pos
+	// Op is the opcode of the instruction at Pos. Sites of one kind can
+	// come from different instructions (a deadlock site is a lock, a wait
+	// or a chsend; a segfault site is a load, a store or a cas), and both
+	// the pruning rules and the hardening rewrite dispatch on it.
+	Op mir.Op
 	// HasOracle is set on wrong-output sites that carry a developer
 	// output-correctness condition (an oracle assert). Only those can be
 	// recovered (§6.5); plain output sites are counted in the census and
@@ -110,16 +115,26 @@ func IdentifySurvival(m *mir.Module) []Site {
 				switch in.Op {
 				case mir.OpAssert:
 					if in.AssertKind == mir.AssertOracle {
-						sites = append(sites, Site{Kind: SiteWrongOutput, Pos: pos, HasOracle: true})
+						sites = append(sites, Site{Kind: SiteWrongOutput, Pos: pos, Op: in.Op, HasOracle: true})
 					} else {
-						sites = append(sites, Site{Kind: SiteAssert, Pos: pos})
+						sites = append(sites, Site{Kind: SiteAssert, Pos: pos, Op: in.Op})
 					}
 				case mir.OpOutput:
-					sites = append(sites, Site{Kind: SiteWrongOutput, Pos: pos})
+					sites = append(sites, Site{Kind: SiteWrongOutput, Pos: pos, Op: in.Op})
 				case mir.OpLoad, mir.OpStore:
-					sites = append(sites, Site{Kind: SiteSegfault, Pos: pos})
+					sites = append(sites, Site{Kind: SiteSegfault, Pos: pos, Op: in.Op})
 				case mir.OpLock:
-					sites = append(sites, Site{Kind: SiteDeadlock, Pos: pos})
+					sites = append(sites, Site{Kind: SiteDeadlock, Pos: pos, Op: in.Op})
+				case mir.OpWait, mir.OpChSend:
+					// A wait can miss its signal forever (lost signal/missed
+					// broadcast) and a send can block forever on a full
+					// channel — hang symptoms recovered by the timed-form
+					// rewrite, exactly like lock → timedlock.
+					sites = append(sites, Site{Kind: SiteDeadlock, Pos: pos, Op: in.Op})
+				case mir.OpCAS:
+					// A cas dereferences its address operand: a potential
+					// segmentation-fault site like any load/store.
+					sites = append(sites, Site{Kind: SiteSegfault, Pos: pos, Op: in.Op})
 				}
 			}
 		}
@@ -148,7 +163,7 @@ func IdentifyFix(m *mir.Module, pos mir.Pos) (Site, error) {
 		return Site{}, fmt.Errorf("fix mode: instruction index %d out of range in %s/%s", pos.Index, f.Name, blk.Name)
 	}
 	in := &blk.Instrs[pos.Index]
-	s := Site{ID: 1, Pos: pos}
+	s := Site{ID: 1, Pos: pos, Op: in.Op}
 	switch in.Op {
 	case mir.OpAssert:
 		if in.AssertKind == mir.AssertOracle {
@@ -158,9 +173,9 @@ func IdentifyFix(m *mir.Module, pos mir.Pos) (Site, error) {
 		}
 	case mir.OpOutput:
 		s.Kind = SiteWrongOutput
-	case mir.OpLoad, mir.OpStore:
+	case mir.OpLoad, mir.OpStore, mir.OpCAS:
 		s.Kind = SiteSegfault
-	case mir.OpLock:
+	case mir.OpLock, mir.OpWait, mir.OpChSend:
 		s.Kind = SiteDeadlock
 	default:
 		return Site{}, fmt.Errorf("fix mode: instruction %s at %s is not a failure site", in.Op, pos)

@@ -129,9 +129,31 @@ func All() []*Bug {
 	return out
 }
 
-// ByName returns the named bug, or nil.
+// corpusRegistry holds the labelled real-bug corpus: hand-written MIR
+// models of shipped concurrency bugs from open-source Go projects, kept
+// separate from the paper's 10 benchmarks so All() — and every golden
+// sweep pinned to it — is unchanged by corpus growth.
+var corpusRegistry []*Bug
+
+func registerCorpus(b *Bug) {
+	corpusRegistry = append(corpusRegistry, b)
+}
+
+// Corpus returns the real-bug corpus in registration order.
+func Corpus() []*Bug {
+	out := make([]*Bug, len(corpusRegistry))
+	copy(out, corpusRegistry)
+	return out
+}
+
+// ByName returns the named bug — paper benchmark or corpus entry — or nil.
 func ByName(name string) *Bug {
 	for _, b := range registry {
+		if b.Name == name {
+			return b
+		}
+	}
+	for _, b := range corpusRegistry {
 		if b.Name == name {
 			return b
 		}

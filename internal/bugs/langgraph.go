@@ -1,0 +1,274 @@
+package bugs
+
+import (
+	"conair/internal/mir"
+)
+
+// This file is the labelled real-bug corpus: hand-written MIR models of
+// three concurrency bugs shipped (and later fixed) in langgraph-go, a Go
+// graph-workflow engine. Each model reproduces the published root-cause
+// pattern and failure symptom in a few dozen MIR instructions, small
+// enough that the sanitizer's report, the recovery region and the
+// minimized failure schedule can all be read by hand.
+//
+// Unlike the paper benchmarks — where the !ForceBug variant merely
+// reverses timing — each corpus model's !ForceBug variant is the shipped
+// FIX: the synchronization structure the upstream patch introduced. The
+// forced/clean pair therefore doubles as a buggy/fixed differential for
+// the three-way cross-check: the buggy build must be flagged by the
+// sanitizer on exactly the documented global and must recover under
+// hardening, while the fixed build must soak clean with zero reports.
+//
+// The corpus registers through registerCorpus, not register: bugs.All()
+// and every golden fingerprint pinned to it are untouched.
+
+// LGResults — results-channel deadlock (langgraph-go BUG-001).
+//
+// Workers send node results into a bounded results channel; on the error
+// path the collector stops draining after the first result and flips a
+// cancellation flag. The flag is checked without synchronization, so a
+// worker that passed its check while the channel was already at capacity
+// blocks in send forever: the workflow hangs with the error undelivered.
+//
+// The shipped fix sized the channel so every send completes
+// (MaxConcurrentNodes*2) and moved cancellation onto a synchronized
+// path; the clean variant models both.
+//
+// ConAir's recovery needs neither: the hardened send times out, rolls
+// back past the cancellation-flag load (sends are idempotency-destroying,
+// so the checkpoint sits just after the previous send) and re-executes
+// the check — now observing the cancellation and exiting the loop.
+func init() {
+	registerCorpus(&Bug{
+		Name:      "LGResults",
+		AppType:   "Graph workflow engine",
+		RootCause: "deadlock",
+		Symptom:   mir.FailHang,
+		FixFunc:   "lgr_worker",
+		FixOp:     mir.OpChSend,
+		FixNth:    0,
+		build:     buildLGResults,
+	})
+}
+
+func buildLGResults(cfg Config) *mir.Module {
+	b := mir.NewBuilder("LGResults")
+	// A channel global's initial value is its capacity. The buggy build
+	// bounds the channel below the worker's send count; the fixed build
+	// sizes it so every send completes without a consumer.
+	capacity := mir.Word(1)
+	if !cfg.ForceBug {
+		capacity = 8
+	}
+	results := b.Global("results", capacity)
+	cancel := b.Global("ctx_cancel", 0)
+	cmtx := b.Global("cancel_mtx", 0)
+
+	// Worker: emit up to 4 node results unless cancelled.
+	w := b.Func("lgr_worker")
+	chp := w.AddrG("chp", results)
+	w.Const("i", 0)
+	loop := w.Label("sendloop")
+	if cfg.ForceBug {
+		// The bug: the cancellation flag is read with no synchronization.
+		w.LoadG("c", cancel)
+	} else {
+		w.LockG(cmtx)
+		w.LoadG("c", cancel)
+		w.UnlockG(cmtx)
+	}
+	done := w.NewBlock("wdone")
+	send := w.NewBlock("wsend")
+	w.Br(w.R("c"), done, send)
+	w.SetBlock(send)
+	if cfg.ForceBug {
+		// Widen the check-to-send window so the collector's cancellation
+		// lands between them (§5 forcing methodology).
+		w.Sleep(mir.Imm(40))
+	}
+	w.ChSend(chp, w.R("i"))
+	w.Bin("i", mir.BinAdd, w.R("i"), mir.Imm(1))
+	k := w.Bin("k", mir.BinLt, w.R("i"), mir.Imm(4))
+	w.Br(k, loop, done)
+	w.SetBlock(done)
+	w.Ret(mir.None)
+
+	// Collector: take the first result, treat it as the error path, stop
+	// draining and cancel the workflow.
+	c := b.Func("lgr_collect")
+	chp2 := c.AddrG("chp", results)
+	c.ChRecv("v", chp2)
+	if cfg.ForceBug {
+		// Hold the cancellation long enough for the worker to commit to
+		// another send against the full channel.
+		c.Sleep(mir.Imm(300))
+		c.StoreG(cancel, mir.Imm(1))
+	} else {
+		c.LockG(cmtx)
+		c.StoreG(cancel, mir.Imm(1))
+		c.UnlockG(cmtx)
+	}
+	c.Ret(mir.None)
+
+	m := b.Func("main")
+	t1 := m.Spawn("t1", "lgr_worker")
+	t2 := m.Spawn("t2", "lgr_collect")
+	m.Join(t1)
+	m.Join(t2)
+	out := m.LoadG("out", cancel)
+	m.Output("cancelled", out)
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}
+
+// LGFrontier — frontier notification/heap desynchronization (langgraph-go
+// BUG-003).
+//
+// The scheduler kept ready work in two places: a priority heap and a
+// channel used to wake the dispatcher. The buggy enqueue notified the
+// channel before publishing the item to the heap, so a woken dispatcher
+// could pop an empty/stale frontier — an ordering violation observed as
+// items dequeued out of OrderKey order.
+//
+// The shipped fix made the channel notification-only and strictly
+// push-then-notify, with the heap as the single source of truth; the
+// clean variant models that ordering. The model collapses the heap to
+// one slot and the ordering oracle to an assert that a notification
+// never observes an empty frontier.
+//
+// Recovery: the dispatcher's failed assert rolls back to the checkpoint
+// after its chrecv (a receive destroys idempotency) and re-reads the
+// frontier slot, which by then holds the published item.
+func init() {
+	registerCorpus(&Bug{
+		Name:      "LGFrontier",
+		AppType:   "Graph workflow engine",
+		RootCause: "O Vio.",
+		Symptom:   mir.FailAssert,
+		FixFunc:   "lgf_consume",
+		FixOp:     mir.OpAssert,
+		FixNth:    0,
+		build:     buildLGFrontier,
+	})
+}
+
+func buildLGFrontier(cfg Config) *mir.Module {
+	b := mir.NewBuilder("LGFrontier")
+	note := b.Global("frontier_note", 2) // notification channel, cap 2
+	frontier := b.Global("frontier", 0)  // the heap's top slot; 0 = empty
+
+	p := b.Func("lgf_produce")
+	np := p.AddrG("np", note)
+	if cfg.ForceBug {
+		// The bug: notify first, publish to the heap second.
+		p.ChSend(np, mir.Imm(1))
+		p.Sleep(mir.Imm(60))
+		p.StoreG(frontier, mir.Imm(7))
+	} else {
+		// The fix: heap push strictly before the notification.
+		p.StoreG(frontier, mir.Imm(7))
+		p.ChSend(np, mir.Imm(1))
+	}
+	p.Ret(mir.None)
+
+	c := b.Func("lgf_consume")
+	np2 := c.AddrG("np", note)
+	c.ChRecv("n", np2)
+	item := c.LoadG("item", frontier)
+	c.Assert(item, "frontier: notification delivered before heap push")
+	c.Ret(mir.None)
+
+	m := b.Func("main")
+	t1 := m.Spawn("t1", "lgf_produce")
+	t2 := m.Spawn("t2", "lgf_consume")
+	m.Join(t1)
+	m.Join(t2)
+	out := m.LoadG("out", frontier)
+	m.Output("frontier", out)
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}
+
+// LGCompletion — completion-detection race (langgraph-go BUG-004).
+//
+// With workers completing at different rates, the engine's completion
+// detector could fire before the final work item's result was published:
+// the worker signalled "done" on the completion condvar and only then
+// wrote its result, so the monitor woke, declared the workflow complete
+// and read a missing result.
+//
+// The condvar protocol itself is textbook-correct in both variants
+// (flag and signal under one mutex, wait re-checked in a loop), so the
+// model isolates the one shipped defect: publication ordered after the
+// completion signal. The fix publishes the result before signalling.
+//
+// Recovery: the monitor's failed assert rolls back to the checkpoint
+// after its mutex release and re-reads the result slot until the
+// worker's late write lands.
+func init() {
+	registerCorpus(&Bug{
+		Name:      "LGCompletion",
+		AppType:   "Graph workflow engine",
+		RootCause: "O Vio.",
+		Symptom:   mir.FailAssert,
+		FixFunc:   "lgc_monitor",
+		FixOp:     mir.OpAssert,
+		FixNth:    0,
+		build:     buildLGCompletion,
+	})
+}
+
+func buildLGCompletion(cfg Config) *mir.Module {
+	b := mir.NewBuilder("LGCompletion")
+	done := b.Global("wf_done", 0)
+	result := b.Global("wf_result", 0)
+	cv := b.Global("wf_cv", 0)
+	mtx := b.Global("wf_mtx", 0)
+
+	w := b.Func("lgc_worker")
+	if !cfg.ForceBug {
+		// The fix: publish the result before announcing completion.
+		w.StoreG(result, mir.Imm(42))
+	}
+	mp := w.AddrG("mp", mtx)
+	cp := w.AddrG("cp", cv)
+	w.Lock(mp)
+	w.StoreG(done, mir.Imm(1))
+	w.Signal(cp)
+	w.Unlock(mp)
+	if cfg.ForceBug {
+		// The bug: the completion signal is already out; the result lands
+		// a beat later.
+		w.Sleep(mir.Imm(60))
+		w.StoreG(result, mir.Imm(42))
+	}
+	w.Ret(mir.None)
+
+	mo := b.Func("lgc_monitor")
+	mp2 := mo.AddrG("mp", mtx)
+	cp2 := mo.AddrG("cp", cv)
+	mo.Lock(mp2)
+	loop := mo.Label("waitloop")
+	d := mo.LoadG("d", done)
+	fin := mo.NewBlock("finished")
+	wait := mo.NewBlock("waitarm")
+	mo.Br(d, fin, wait)
+	mo.SetBlock(wait)
+	mo.Wait(cp2, mp2)
+	mo.Jmp(loop)
+	mo.SetBlock(fin)
+	mo.Unlock(mp2)
+	r := mo.LoadG("r", result)
+	mo.Assert(r, "completion: workflow declared done before final result")
+	mo.Ret(mir.None)
+
+	m := b.Func("main")
+	t1 := m.Spawn("t1", "lgc_worker")
+	t2 := m.Spawn("t2", "lgc_monitor")
+	m.Join(t1)
+	m.Join(t2)
+	out := m.LoadG("out", result)
+	m.Output("result", out)
+	m.Ret(mir.Imm(0))
+	return b.MustModule()
+}

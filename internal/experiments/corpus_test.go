@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"conair/internal/bugs"
+)
+
+// TestCrossCheckCorpus runs the three-way oracle over every corpus model:
+// detection on the documented global with zero false positives, a
+// report-free fixed twin, and hardened recovery with the observable
+// intact.
+func TestCrossCheckCorpus(t *testing.T) {
+	corpus := bugs.Corpus()
+	if len(corpus) != 3 {
+		t.Fatalf("corpus has %d models, want 3", len(corpus))
+	}
+	for _, b := range corpus {
+		if err := CrossCheckCorpus(b, 10); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestTable3CorpusRows pins the corpus extension of Table 3: every model
+// recovers in both hardening modes, its fixed twin soaks clean, and the
+// sanitizer verdict names the documented racy global.
+func TestTable3CorpusRows(t *testing.T) {
+	want := map[string]string{
+		"LGResults":    "race(ctx_cancel)",
+		"LGFrontier":   "race(frontier)",
+		"LGCompletion": "race(wf_result)",
+	}
+	rows := Table3Corpus(10)
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		w := want[row.Name]
+		if w == "" {
+			t.Errorf("%s: unexpected corpus row", row.Name)
+			continue
+		}
+		if !row.RecoveredFix || !row.RecoveredSurvival {
+			t.Errorf("%s: recovery fix=%v survival=%v, want both", row.Name,
+				row.RecoveredFix, row.RecoveredSurvival)
+		}
+		if !row.FixedTwinClean {
+			t.Errorf("%s: fixed twin did not soak clean", row.Name)
+		}
+		// The primary classification must match; a second report on the
+		// same racy global may append a [+N] suffix.
+		if row.Sanitizer != w && !strings.HasPrefix(row.Sanitizer, w+"[+") {
+			t.Errorf("%s: verdict %q, want %q", row.Name, row.Sanitizer, w)
+		}
+	}
+}

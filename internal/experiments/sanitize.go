@@ -82,7 +82,13 @@ func SanitizerVerdict(b *bugs.Bug, budget int64) string {
 // ground-truth label; any mismatch is a false positive.
 func matchesInfo(r sanitizer.Report, info *mirgen.BugInfo) error {
 	switch info.Kind {
-	case mirgen.BugOrder, mirgen.BugAtomicity:
+	case mirgen.BugOrder, mirgen.BugAtomicity,
+		mirgen.BugLostSignal, mirgen.BugMissedBroadcast,
+		mirgen.BugChannelDeadlock, mirgen.BugCASABA:
+		// The synchronization templates are labelled by a data race too:
+		// the predicate/stop-flag publish (or the cas cell's plain reads)
+		// is deliberately unsynchronized, and no other report kind is
+		// acceptable.
 		if r.Kind == sanitizer.KindDeadlock {
 			return fmt.Errorf("deadlock report for a %v template", info.Kind)
 		}
@@ -107,8 +113,10 @@ func matchesInfo(r sanitizer.Report, info *mirgen.BugInfo) error {
 // wantOutputs is the template's schedule-independent observable.
 func wantOutputs(info *mirgen.BugInfo) []interp.OutputEvent {
 	switch info.Kind {
-	case mirgen.BugAtomicity, mirgen.BugLockInversion:
+	case mirgen.BugAtomicity, mirgen.BugLockInversion, mirgen.BugCASABA:
 		return []interp.OutputEvent{{Text: "bug", Value: 2}}
+	case mirgen.BugLostSignal, mirgen.BugMissedBroadcast, mirgen.BugChannelDeadlock:
+		return []interp.OutputEvent{{Text: "bug", Value: 1}}
 	}
 	return nil
 }

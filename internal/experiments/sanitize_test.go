@@ -21,7 +21,8 @@ import (
 // failure-free twin stays report-free, and (3) the survival-hardened
 // program recovers with its observable output intact.
 func TestCrossCheckAllTemplates(t *testing.T) {
-	kinds := []mirgen.BugKind{mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion}
+	kinds := []mirgen.BugKind{mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion,
+		mirgen.BugLostSignal, mirgen.BugMissedBroadcast, mirgen.BugChannelDeadlock, mirgen.BugCASABA}
 	for _, kind := range kinds {
 		for _, genSeed := range []int64{1, 2, 13} {
 			cfg := mirgen.Config{Seed: genSeed, Bug: kind}

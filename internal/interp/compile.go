@@ -72,7 +72,17 @@ const (
 	cBr
 	cJmp
 	cRet
-	cUnimpl // unknown source opcode; fails at execution time like exec did
+	// Synchronization extensions: all scheduling-relevant (they block,
+	// wake threads, fail, or touch shared state), so none are superblock-
+	// eligible and all dispatch through the central switch.
+	cWait    // a=condvar, b=mutex, aux=timeout (0 = untimed)
+	cSignal  // a=condvar
+	cBroadcast
+	cChSend  // a=channel, b=value, aux=timeout (0 = untimed)
+	cChRecv  // a=channel
+	cChClose // a=channel
+	cCAS     // a=address, b=expected, args[0]=replacement
+	cUnimpl  // unknown source opcode; fails at execution time like exec did
 
 	// Fused super-instructions. Each occupies the first slot of its source
 	// pair; the second slot keeps the unfused tail as the bail-out target.
@@ -97,7 +107,8 @@ type carg struct {
 //	                       aImm doubles as the const value (cConst), the
 //	                       rollback retry bound (cRollback); bImm doubles as
 //	                       the timedlock timeout (cTimedLock);
-//	aux                  — global, slot or callee index;
+//	aux                  — global, slot or callee index; doubles as the
+//	                       wait/chsend timeout (their b slot is occupied);
 //	thenPC/elsePC        — absolute flat branch targets;
 //	site                 — failure-site id (for fused ops: the branch's);
 //	x2/y2/z2, bin        — fused-tail payload (see the cop comments);
@@ -149,6 +160,15 @@ func (in *cinstr) b(fr *frame) mir.Word {
 		return fr.regs[in.bReg]
 	}
 	return in.bImm
+}
+
+// arg0 resolves the first pre-bound argument (the cas replacement value).
+func (in *cinstr) arg0(fr *frame) mir.Word {
+	a := &in.args[0]
+	if a.reg >= 0 {
+		return fr.regs[a.reg]
+	}
+	return a.imm
 }
 
 // fcode is one compiled function: its flat code stream plus the flat offset
@@ -319,6 +339,20 @@ func lower(in *mir.Instr, pos mir.Pos, offs []int32) cinstr {
 		c.op, c.thenPC = cJmp, offs[in.Then]
 	case mir.OpRet:
 		c.op = cRet
+	case mir.OpWait:
+		c.op, c.aux = cWait, int32(in.Timeout)
+	case mir.OpSignal:
+		c.op = cSignal
+	case mir.OpBroadcast:
+		c.op = cBroadcast
+	case mir.OpChSend:
+		c.op, c.aux = cChSend, int32(in.Timeout)
+	case mir.OpChRecv:
+		c.op = cChRecv
+	case mir.OpChClose:
+		c.op = cChClose
+	case mir.OpCAS:
+		c.op, c.args = cCAS, lowerArgs(in.Args)
 	default:
 		c.op = cUnimpl
 		c.text = fmt.Sprintf("unimplemented op %v", in.Op)

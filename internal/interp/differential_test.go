@@ -44,13 +44,29 @@ func diffCompare(t *testing.T, name string, m *mir.Module, seeds []int64) {
 	}
 }
 
+// testdataPrograms globs every checked-in .mir program: the top-level
+// exemplars and the real-bug corpus models (which exercise the condvar,
+// channel and cas instructions on realistic programs).
+func testdataPrograms(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, pattern := range []string{"../../testdata/*.mir", "../bugs/testdata/*.mir"} {
+		fs, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, fs...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs found")
+	}
+	return files
+}
+
 // TestDifferentialTestdata runs every checked-in .mir program — raw and
 // hardened — under both interpreters across several seeds.
 func TestDifferentialTestdata(t *testing.T) {
-	files, err := filepath.Glob("../../testdata/*.mir")
-	if err != nil || len(files) == 0 {
-		t.Fatalf("no testdata programs found: %v", err)
-	}
+	files := testdataPrograms(t)
 	seeds := []int64{0, 1, 7, 42, 12345}
 	for _, path := range files {
 		src, err := os.ReadFile(path)
@@ -80,6 +96,8 @@ func TestDifferentialTestdata(t *testing.T) {
 func TestDifferentialMirgen(t *testing.T) {
 	bugs := []mirgen.BugKind{
 		mirgen.BugNone, mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion,
+		mirgen.BugLostSignal, mirgen.BugMissedBroadcast, mirgen.BugChannelDeadlock,
+		mirgen.BugCASABA,
 	}
 	seeds := []int64{0, 3}
 	for i := 0; i < 50; i++ {

@@ -23,11 +23,13 @@ func (vm *VM) interrupted(step int64) bool {
 
 // VM executes one MIR module run. Create with New, drive with Run.
 type VM struct {
-	mod  *mir.Module
-	prog *Program
-	cfg  Config
-	mem  *memory
-	lcks *locks
+	mod   *mir.Module
+	prog  *Program
+	cfg   Config
+	mem   *memory
+	lcks  *locks
+	conds *condvars
+	chans *channels
 
 	threads []*thread
 	nextTID int
@@ -116,6 +118,8 @@ func New(mod *mir.Module, cfg Config) *VM {
 		cfg:   cfg,
 		mem:   newMemory(mod),
 		lcks:  newLocks(),
+		conds: newCondvars(),
+		chans: newChannels(),
 		pools: make([][][2][]mir.Word, len(mod.Functions)),
 		sink:  cfg.Sink,
 		san:   cfg.Sanitizer,
@@ -137,7 +141,8 @@ func New(mod *mir.Module, cfg Config) *VM {
 // waits reports whether a status keeps a live thread out of the runnable
 // fast path.
 func waits(s threadStatus) bool {
-	return s == statusSleeping || s == statusBlockedLock || s == statusBlockedJoin
+	return s == statusSleeping || s == statusBlockedLock || s == statusBlockedJoin ||
+		s == statusBlockedCond || s == statusBlockedSend || s == statusBlockedRecv
 }
 
 // setStatus transitions t to s, maintaining the live list and the waiting
@@ -161,6 +166,12 @@ func (vm *VM) setStatus(t *thread, s threadStatus) {
 				reason = obs.BlockLock
 			case statusBlockedJoin:
 				reason = obs.BlockJoin
+			case statusBlockedCond:
+				reason = obs.BlockCond
+			case statusBlockedSend:
+				reason = obs.BlockChanSend
+			case statusBlockedRecv:
+				reason = obs.BlockChanRecv
 			}
 			vm.sink.Record(obs.Event{
 				Step: vm.step, Kind: obs.KindThreadBlock,
@@ -654,6 +665,42 @@ func (vm *VM) runLoop(max int64, single bool) bool {
 			// interpreter ignores it, as the analyses never generate it.
 			fr.pc++
 
+		case cWait:
+			if vm.execWait(t, fr, in.a(fr), in.b(fr), int64(in.aux),
+				int(in.dst), int(in.site), in.pos) {
+				fr.pc++
+			}
+
+		case cSignal:
+			vm.execSignal(t, in.a(fr), false, in.pos)
+			fr.pc++
+
+		case cBroadcast:
+			vm.execSignal(t, in.a(fr), true, in.pos)
+			fr.pc++
+
+		case cChSend:
+			if vm.execChSend(t, fr, in.a(fr), in.b(fr), int64(in.aux),
+				int(in.dst), int(in.site), in.pos) {
+				fr.pc++
+			}
+
+		case cChRecv:
+			if vm.execChRecv(t, fr, in.a(fr), int(in.dst), in.pos) {
+				fr.pc++
+			}
+
+		case cChClose:
+			if vm.execChClose(t, in.a(fr), int(in.site), in.pos) {
+				fr.pc++
+			}
+
+		case cCAS:
+			if vm.execCAS(t, fr, in.a(fr), in.b(fr), in.arg0(fr),
+				int(in.dst), int(in.site), in.pos) {
+				fr.pc++
+			}
+
 		case cCall:
 			nfr := vm.newFrame(int(in.aux), int(in.dst))
 			for i := range in.args {
@@ -1116,6 +1163,40 @@ func (vm *VM) pickThread() (int, bool) {
 					vm.setStatus(t, statusRunnable)
 					runnable = append(runnable, t.id)
 				}
+			case statusBlockedCond:
+				// An armed waiter is woken directly by signal/broadcast
+				// (execSignal moves it to statusBlockedLock); the scan only
+				// has to expire timed waits.
+				anyLive = true
+				if t.blockTimeout > 0 {
+					if vm.step-t.blockedSince >= t.blockTimeout {
+						runnable = append(runnable, t.id)
+					} else if wake := t.blockedSince + t.blockTimeout; minWake < 0 || wake < minWake {
+						minWake = wake
+					}
+				}
+			case statusBlockedSend:
+				anyLive = true
+				ch := vm.chans.peek(t.blockAddr)
+				waited := vm.step - t.blockedSince
+				switch {
+				case ch == nil || !ch.full() || ch.closed:
+					// Room appeared (or a close makes the send fail): the
+					// send is schedulable; it completes when picked.
+					runnable = append(runnable, t.id)
+				case t.blockTimeout > 0 && waited >= t.blockTimeout:
+					runnable = append(runnable, t.id)
+				case t.blockTimeout > 0:
+					if wake := t.blockedSince + t.blockTimeout; minWake < 0 || wake < minWake {
+						minWake = wake
+					}
+				}
+			case statusBlockedRecv:
+				anyLive = true
+				ch := vm.chans.peek(t.blockAddr)
+				if ch == nil || !ch.empty() || ch.closed {
+					runnable = append(runnable, t.id)
+				}
 			}
 		}
 		vm.runnableBuf = runnable
@@ -1135,8 +1216,9 @@ func (vm *VM) pickThread() (int, bool) {
 			vm.step = minWake
 			continue
 		}
-		// Threads exist but none can ever run: all blocked on held locks
-		// or joins — a deadlock, observed as a hang by the user.
+		// Threads exist but none can ever run: all blocked on held locks,
+		// joins, un-signalled condvars or full/empty channels — a
+		// deadlock, observed as a hang by the user.
 		vm.fail(mir.FailHang, mir.Pos{}, 0, -1,
 			fmt.Sprintf("no runnable threads at step %d (deadlock)", vm.step))
 		return 0, false

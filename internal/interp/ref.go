@@ -234,6 +234,30 @@ func (vm *VM) refExec(t *thread) {
 			}
 		}
 
+	case mir.OpWait:
+		advance = vm.execWait(t, fr, eval(fr, in.A), eval(fr, in.B),
+			int64(in.Timeout), in.Dst, in.Site, pos)
+
+	case mir.OpSignal:
+		vm.execSignal(t, eval(fr, in.A), false, pos)
+
+	case mir.OpBroadcast:
+		vm.execSignal(t, eval(fr, in.A), true, pos)
+
+	case mir.OpChSend:
+		advance = vm.execChSend(t, fr, eval(fr, in.A), eval(fr, in.B),
+			int64(in.Timeout), in.Dst, in.Site, pos)
+
+	case mir.OpChRecv:
+		advance = vm.execChRecv(t, fr, eval(fr, in.A), in.Dst, pos)
+
+	case mir.OpChClose:
+		advance = vm.execChClose(t, eval(fr, in.A), in.Site, pos)
+
+	case mir.OpCAS:
+		advance = vm.execCAS(t, fr, eval(fr, in.A), eval(fr, in.B),
+			eval(fr, in.Args[0]), in.Dst, in.Site, pos)
+
 	case mir.OpCall:
 		nfr := vm.newFrame(in.Callee, in.Dst)
 		for i, a := range in.Args {

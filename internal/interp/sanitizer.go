@@ -31,6 +31,19 @@ import "conair/internal/mir"
 //     globals (loadg/storeg) and heap or global words reached through
 //     pointers (load/store). Stack slots and registers are thread-local
 //     and are not reported. Faulting accesses do not fire.
+//   - A wait fires LockRelease for its mutex when it arms, and — only on
+//     the signalled completion path — LockAcquire for the re-acquired
+//     mutex followed by CondWake, so the detector's held-lock set always
+//     matches the interpreter's. A timed-out wait fires neither (it
+//     consumed no signal and left the mutex released).
+//   - CondSignal fires once per executed signal/broadcast, including lost
+//     ones with no waiters. ChanSend/ChanRecv/ChanClose fire once per
+//     completed channel operation — never for the blocked re-executions —
+//     with a closed-and-drained receive still firing ChanRecv (it is
+//     ordered after the close). AtomicCAS fires once per executed cas
+//     with its success outcome; the shadow read (and, on success, write)
+//     are the detector's to derive — the interpreter does not emit
+//     separate Access events for cas.
 type Sanitizer interface {
 	ThreadSpawn(parent, child int)
 	ThreadJoin(waiter, target int)
@@ -38,4 +51,10 @@ type Sanitizer interface {
 	LockAcquire(tid int, addr mir.Word, timed bool, pos mir.Pos)
 	LockRelease(tid int, addr mir.Word)
 	Access(tid int, addr mir.Word, write bool, pos mir.Pos)
+	CondSignal(tid int, cv mir.Word, broadcast bool, pos mir.Pos)
+	CondWake(tid int, cv mir.Word, pos mir.Pos)
+	ChanSend(tid int, ch mir.Word, pos mir.Pos)
+	ChanRecv(tid int, ch mir.Word, pos mir.Pos)
+	ChanClose(tid int, ch mir.Word, pos mir.Pos)
+	AtomicCAS(tid int, addr mir.Word, success bool, pos mir.Pos)
 }

@@ -33,6 +33,24 @@ func (r *recSan) LockRelease(tid int, addr mir.Word) {
 func (r *recSan) Access(tid int, addr mir.Word, write bool, pos mir.Pos) {
 	r.add("access t%d g%d write=%v", tid, addr-GlobalBase, write)
 }
+func (r *recSan) CondSignal(tid int, cv mir.Word, broadcast bool, pos mir.Pos) {
+	r.add("signal t%d %s broadcast=%v", tid, lockLabel(cv), broadcast)
+}
+func (r *recSan) CondWake(tid int, cv mir.Word, pos mir.Pos) {
+	r.add("condwake t%d %s", tid, lockLabel(cv))
+}
+func (r *recSan) ChanSend(tid int, ch mir.Word, pos mir.Pos) {
+	r.add("chsend t%d %s", tid, lockLabel(ch))
+}
+func (r *recSan) ChanRecv(tid int, ch mir.Word, pos mir.Pos) {
+	r.add("chrecv t%d %s", tid, lockLabel(ch))
+}
+func (r *recSan) ChanClose(tid int, ch mir.Word, pos mir.Pos) {
+	r.add("chclose t%d %s", tid, lockLabel(ch))
+}
+func (r *recSan) AtomicCAS(tid int, addr mir.Word, success bool, pos mir.Pos) {
+	r.add("cas t%d %s success=%v", tid, lockLabel(addr), success)
+}
 
 func lockLabel(addr mir.Word) string { return fmt.Sprintf("g%d", addr-GlobalBase) }
 

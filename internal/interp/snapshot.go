@@ -86,6 +86,8 @@ type Snapshot struct {
 	step    int64
 	mem     *memory
 	lcks    *locks
+	conds   *condvars
+	chans   *channels
 	threads []*thread
 	nextTID int
 	done    bool
@@ -101,6 +103,8 @@ func (vm *VM) TakeSnapshot() *Snapshot {
 		step:    vm.step,
 		mem:     vm.mem.snapshot(),
 		lcks:    vm.lcks.snapshot(),
+		conds:   vm.conds.snapshot(),
+		chans:   vm.chans.snapshot(),
 		nextTID: vm.nextTID,
 		done:    vm.done,
 		exit:    vm.exit,
@@ -121,6 +125,8 @@ func (vm *VM) TakeSnapshot() *Snapshot {
 func (vm *VM) RestoreSnapshot(s *Snapshot) {
 	vm.mem = s.mem.snapshot()
 	vm.lcks = s.lcks.snapshot()
+	vm.conds = s.conds.snapshot()
+	vm.chans = s.chans.snapshot()
 	vm.threads = make([]*thread, len(s.threads))
 	for i, t := range s.threads {
 		vm.threads[i] = cloneThread(t)
@@ -139,8 +145,11 @@ func (vm *VM) RestoreSnapshot(s *Snapshot) {
 		if t.status == statusSleeping && t.wakeAt < vm.step {
 			t.wakeAt = vm.step
 		}
-		if t.status == statusBlockedLock && t.blockedSince > vm.step {
-			t.blockedSince = vm.step
+		switch t.status {
+		case statusBlockedLock, statusBlockedCond, statusBlockedSend, statusBlockedRecv:
+			if t.blockedSince > vm.step {
+				t.blockedSince = vm.step
+			}
 		}
 	}
 }

@@ -97,10 +97,7 @@ func parityCompare(t *testing.T, name string, m *mir.Module, seeds []int64) {
 // TestSuperblockParityTestdata runs every checked-in .mir program — raw
 // and hardened — batched against unbatched across several seeds.
 func TestSuperblockParityTestdata(t *testing.T) {
-	files, err := filepath.Glob("../../testdata/*.mir")
-	if err != nil || len(files) == 0 {
-		t.Fatalf("no testdata programs found: %v", err)
-	}
+	files := testdataPrograms(t)
 	seeds := []int64{0, 1, 7, 42, 12345}
 	for _, path := range files {
 		src, err := os.ReadFile(path)
@@ -130,6 +127,8 @@ func TestSuperblockParityTestdata(t *testing.T) {
 func TestSuperblockParityMirgen(t *testing.T) {
 	bugs := []mirgen.BugKind{
 		mirgen.BugNone, mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion,
+		mirgen.BugLostSignal, mirgen.BugMissedBroadcast, mirgen.BugChannelDeadlock,
+		mirgen.BugCASABA,
 	}
 	seeds := []int64{0, 3}
 	for i := 0; i < 50; i++ {

@@ -1,0 +1,103 @@
+package interp
+
+import "conair/internal/mir"
+
+// This file holds the interpreter state behind the synchronization
+// extensions: condition variables and bounded channels. Both are keyed by
+// flat address exactly like mutexes (memory.go) — the address IS the
+// object's identity — and both are created lazily at first use.
+
+// condvar is the state attached to an address used by wait/signal/
+// broadcast: a FIFO queue of parked thread ids. Signal wakes the
+// longest-parked waiter; the FIFO order makes the choice deterministic
+// without consuming scheduler randomness.
+type condvar struct {
+	waiters []int
+}
+
+// remove deletes tid from the waiter queue (timed-wait timeout path).
+func (cv *condvar) remove(tid int) {
+	for i, w := range cv.waiters {
+		if w == tid {
+			cv.waiters = append(cv.waiters[:i], cv.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// condvars tracks every address used as a condition variable.
+type condvars struct {
+	byAddr map[mir.Word]*condvar
+}
+
+func newCondvars() *condvars { return &condvars{byAddr: map[mir.Word]*condvar{}} }
+
+func (c *condvars) get(addr mir.Word) *condvar {
+	cv := c.byAddr[addr]
+	if cv == nil {
+		cv = &condvar{}
+		c.byAddr[addr] = cv
+	}
+	return cv
+}
+
+// snapshot deep-copies condvar state for whole-state snapshots.
+func (c *condvars) snapshot() *condvars {
+	cp := newCondvars()
+	for a, cv := range c.byAddr {
+		cp.byAddr[a] = &condvar{waiters: append([]int(nil), cv.waiters...)}
+	}
+	return cp
+}
+
+// channel is a bounded FIFO channel. Capacity is fixed at creation: the
+// value stored in the addressed memory cell at the first channel
+// operation, clamped to >= 1 (a degenerate or zero declared capacity
+// still yields a usable one-slot channel; rendezvous channels are out of
+// scope — every MIR channel is buffered).
+type channel struct {
+	cap    int
+	buf    []mir.Word
+	closed bool
+}
+
+func (ch *channel) full() bool  { return len(ch.buf) >= ch.cap }
+func (ch *channel) empty() bool { return len(ch.buf) == 0 }
+
+// channels tracks every address used as a channel.
+type channels struct {
+	byAddr map[mir.Word]*channel
+}
+
+func newChannels() *channels { return &channels{byAddr: map[mir.Word]*channel{}} }
+
+// get returns the channel at addr, creating it with capacity capHint
+// (clamped to >= 1) on first use.
+func (c *channels) get(addr mir.Word, capHint mir.Word) *channel {
+	ch := c.byAddr[addr]
+	if ch == nil {
+		n := int(capHint)
+		if n < 1 {
+			n = 1
+		}
+		ch = &channel{cap: n}
+		c.byAddr[addr] = ch
+	}
+	return ch
+}
+
+// peek returns the channel at addr without creating it, or nil.
+func (c *channels) peek(addr mir.Word) *channel { return c.byAddr[addr] }
+
+// snapshot deep-copies channel state for whole-state snapshots.
+func (c *channels) snapshot() *channels {
+	cp := newChannels()
+	for a, ch := range c.byAddr {
+		cp.byAddr[a] = &channel{
+			cap:    ch.cap,
+			buf:    append([]mir.Word(nil), ch.buf...),
+			closed: ch.closed,
+		}
+	}
+	return cp
+}

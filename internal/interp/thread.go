@@ -10,6 +10,16 @@ const (
 	statusBlockedLock
 	statusBlockedJoin
 	statusSleeping
+	// statusBlockedCond: parked on a condition variable, waiting for a
+	// signal/broadcast (or the timed wait's timeout). A signal moves the
+	// thread to statusBlockedLock on the wait's mutex — the re-acquire
+	// phase — so the ordinary lock wake machinery applies.
+	statusBlockedCond
+	// statusBlockedSend / statusBlockedRecv: parked on a full (resp.
+	// empty) bounded channel; woken by pickThread when the operation may
+	// complete, then the instruction re-executes like a blocked lock.
+	statusBlockedSend
+	statusBlockedRecv
 	statusDone
 )
 
@@ -61,12 +71,21 @@ type thread struct {
 	result mir.Word
 
 	// Blocking state.
-	blockAddr    mir.Word // lock address for statusBlockedLock
+	blockAddr    mir.Word // lock/condvar/channel address while blocked
 	blockedSince int64
 	blockTimeout int64 // steps; 0 = wait forever (plain lock)
 	blockDst     int   // destination register for timedlock result
 	joinTarget   int
 	wakeAt       int64
+
+	// Condition-variable wait state machine (see the cWait dispatch case).
+	// condArmed: parked in the condvar's waiter queue. condSignaled: a
+	// signal was consumed, the wait is re-acquiring its mutex; once set,
+	// the wait can no longer time out — the no-double-consume half of the
+	// wait-rollback rule (mir/class.go).
+	condArmed    bool
+	condSignaled bool
+	waitMutex    mir.Word // mutex to re-acquire when the wait completes
 
 	// ConAir recovery state.
 	jmp       *jmpbuf

@@ -291,6 +291,46 @@ func (fb *FuncBuilder) Unlock(addr Operand) {
 	fb.emit(Instr{Op: OpUnlock, Dst: -1, A: addr})
 }
 
+// Wait emits a condition-variable wait: release the mutex at mtx, block
+// until signalled on the condvar at cv, re-acquire mtx.
+func (fb *FuncBuilder) Wait(cv, mtx Operand) {
+	fb.emit(Instr{Op: OpWait, Dst: -1, A: cv, B: mtx})
+}
+
+// Signal emits a wake-one on the condvar at cv.
+func (fb *FuncBuilder) Signal(cv Operand) {
+	fb.emit(Instr{Op: OpSignal, Dst: -1, A: cv})
+}
+
+// Broadcast emits a wake-all on the condvar at cv.
+func (fb *FuncBuilder) Broadcast(cv Operand) {
+	fb.emit(Instr{Op: OpBroadcast, Dst: -1, A: cv})
+}
+
+// ChSend emits a bounded-channel send of v into the channel at ch.
+func (fb *FuncBuilder) ChSend(ch, v Operand) {
+	fb.emit(Instr{Op: OpChSend, Dst: -1, A: ch, B: v})
+}
+
+// ChRecv emits dst = receive from the channel at ch.
+func (fb *FuncBuilder) ChRecv(dst string, ch Operand) Operand {
+	d := fb.Reg(dst)
+	fb.emit(Instr{Op: OpChRecv, Dst: d, A: ch})
+	return Reg(d)
+}
+
+// ChClose emits a close of the channel at ch.
+func (fb *FuncBuilder) ChClose(ch Operand) {
+	fb.emit(Instr{Op: OpChClose, Dst: -1, A: ch})
+}
+
+// CAS emits dst = (1 if *(addr) == expect then *(addr) = repl else 0).
+func (fb *FuncBuilder) CAS(dst string, addr, expect, repl Operand) Operand {
+	d := fb.Reg(dst)
+	fb.emit(Instr{Op: OpCAS, Dst: d, A: addr, B: expect, Args: []Operand{repl}})
+	return Reg(d)
+}
+
 // LockG is a convenience for locking a global used as a mutex.
 func (fb *FuncBuilder) LockG(global int) {
 	p := fb.AddrG(fmt.Sprintf(".mtx%d", global), global)

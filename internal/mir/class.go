@@ -58,6 +58,29 @@ const (
 )
 
 // Classify returns the destroy class of in under the given policy.
+//
+// The synchronization extensions (condvars, channels, CAS) are always
+// idempotency-destroying; in particular this encodes the wait-rollback
+// rule the interpreter's recovery relies on:
+//
+//	A wait consumes a signal and releases a mutex, neither of which
+//	reexecution can replay — delivered signals are gone and the mutex
+//	may have been taken by another thread. wait therefore DESTROYS
+//	idempotency, so the reexecution region of every later failure site
+//	begins after it and a checkpoint is planted immediately past the
+//	wait: a recovery rollback can never cross a completed wait, hence
+//	can never make it consume a second signal. The wait's own hardened
+//	(timed) form re-arms on rollback instead: on timeout the wait
+//	leaves the condvar queue with the mutex released, rolls back to a
+//	checkpoint preceding the compensated mutex acquisition, and
+//	re-executes lock + predicate check + wait from scratch — and a
+//	wait that already consumed a signal never takes the timeout path,
+//	so re-arming cannot double-consume (pinned by
+//	TestWaitRollbackNeverConsumesSecondSignal).
+//
+// Channel sends/receives/closes and successful CAS publish or consume
+// communication the same way (a re-executed send would duplicate a
+// value, a re-executed recv would steal one), so all destroy.
 func Classify(in *Instr, policy RegionPolicy) DestroyClass {
 	switch in.Op {
 	case OpStoreG, OpStore:
@@ -68,6 +91,17 @@ func Classify(in *Instr, policy RegionPolicy) DestroyClass {
 		return DestroyIO
 	case OpFree, OpUnlock:
 		return DestroyRelease
+	case OpWait, OpSignal, OpBroadcast, OpChClose:
+		// Signal delivery and the wait's mutex release are
+		// un-reexecutable communication (see the rule above).
+		return DestroyRelease
+	case OpChSend, OpChRecv:
+		// Transferred values cannot be un-sent or re-received.
+		return DestroyRelease
+	case OpCAS:
+		// A successful CAS is a shared write; whether it succeeded cannot
+		// be known statically, so classify conservatively.
+		return DestroySharedWrite
 	case OpCall, OpSpawn, OpJoin:
 		return DestroyCall
 	case OpAlloc, OpLock, OpTimedLock:

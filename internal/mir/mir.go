@@ -14,7 +14,12 @@
 //     arbitrary pointer are potential segmentation-fault sites;
 //   - calls, I/O (output), free and unlock: idempotency-destroying;
 //   - alloc and lock/timedlock: permitted inside reexecution regions with
-//     compensation (ConAir §4.1).
+//     compensation (ConAir §4.1);
+//   - condition variables (wait/signal/broadcast), bounded channels
+//     (chsend/chrecv/chclose) and atomic compare-and-swap (cas): the
+//     richer synchronization surface; all idempotency-destroying (each
+//     consumes or publishes communication that reexecution cannot
+//     replay), see class.go for the per-op rules.
 //
 // A module holds globals and functions; a function holds basic blocks of
 // instructions, terminated by a branch, jump or return. Programs can be
@@ -92,6 +97,56 @@ const (
 	OpSleep
 	// OpNop: no operation.
 	OpNop
+	// OpWait: condition-variable wait. A is the condvar address, B the
+	// mutex address; the calling thread must hold the mutex. Atomically
+	// releases the mutex and blocks until a signal/broadcast is delivered,
+	// then re-acquires the mutex before returning (Mesa semantics).
+	//
+	// The timed form (Timeout > 0, Dst set) is emitted by the transformer
+	// when it hardens a wait as a deadlock failure site: dst = 1 when the
+	// wait was signalled (mutex re-acquired), 0 when Timeout interpreter
+	// steps elapsed un-signalled. On timeout the mutex is deliberately
+	// LEFT RELEASED: the recovery path rolls back to a checkpoint planted
+	// before the mutex acquisition (wait is idempotency-destroying, so the
+	// region of any later site starts after it, and its own region reaches
+	// back across the compensated lock), and reexecution re-acquires the
+	// mutex and re-reads the predicate. A wait that already consumed a
+	// signal never times out — otherwise a rollback could re-arm the wait
+	// and consume a second signal (see the idempotent-region rule in
+	// class.go).
+	OpWait
+	// OpSignal: wake exactly one waiter of the condvar at address A (the
+	// longest-blocked one). A signal with no waiter is lost — exactly the
+	// lost-signal bug shape. Idempotency-destroying.
+	OpSignal
+	// OpBroadcast: wake every waiter of the condvar at address A.
+	// Idempotency-destroying.
+	OpBroadcast
+	// OpChSend: send value B into the bounded channel at address A;
+	// blocks while the channel is full. Sending on a closed channel is a
+	// program failure (panic). Channel state is created lazily at the
+	// first channel operation on an address; its capacity is the value
+	// stored in the addressed cell at that moment, clamped to >= 1.
+	//
+	// The timed form (Timeout > 0, Dst set) is the transformer's hardened
+	// deadlock-site form: dst = 1 when the value was sent, 0 when Timeout
+	// steps elapsed with the channel full (nothing sent).
+	OpChSend
+	// OpChRecv: dst = next value from the bounded channel at address A;
+	// blocks while the channel is empty and open. Receiving from a closed,
+	// drained channel yields 0 without blocking. Idempotency-destroying
+	// (the consumed value cannot be re-received).
+	OpChRecv
+	// OpChClose: close the channel at address A, waking blocked
+	// receivers (they drain the buffer, then read 0) and failing blocked
+	// senders. Closing twice is a program failure. Idempotency-destroying.
+	OpChClose
+	// OpCAS: atomic compare-and-swap. dst = 1 and *(A) = Args[0] if
+	// *(A) == B, else dst = 0. A single scheduling step: no other thread
+	// can intervene between the compare and the swap. A potential
+	// segmentation-fault site (it dereferences A) and, when it succeeds,
+	// a shared-memory write; always idempotency-destroying.
+	OpCAS
 
 	// Instructions below are emitted only by the ConAir transformer.
 
@@ -146,6 +201,13 @@ var opNames = [...]string{
 	OpYield:      "yield",
 	OpSleep:      "sleep",
 	OpNop:        "nop",
+	OpWait:       "wait",
+	OpSignal:     "signal",
+	OpBroadcast:  "broadcast",
+	OpChSend:     "chsend",
+	OpChRecv:     "chrecv",
+	OpChClose:    "chclose",
+	OpCAS:        "cas",
 	OpCheckpoint: "checkpoint",
 	OpRollback:   "rollback",
 	OpFail:       "fail",
@@ -381,7 +443,7 @@ type Instr struct {
 	AssertKind AssertKind // for OpAssert
 	FailKind   FailKind   // for OpFail
 
-	Timeout  int   // steps, for OpTimedLock
+	Timeout  int   // steps, for OpTimedLock and timed OpWait/OpChSend
 	Site     int   // failure-site id, for OpRollback/OpFail/transformed sites
 	MaxRetry int64 // retry bound, for OpRollback
 

@@ -449,6 +449,72 @@ func (p *parser) instrBody(line string) (Instr, error) {
 		var err error
 		in.A, err = p.operand(parts[1])
 		return in, err
+	case "signal", "broadcast", "chrecv", "chclose":
+		if err := need(1); err != nil {
+			return in, err
+		}
+		a, err := p.operand(parts[0])
+		if err != nil {
+			return in, err
+		}
+		in.A = a
+		switch op {
+		case "signal":
+			in.Op = OpSignal
+		case "broadcast":
+			in.Op = OpBroadcast
+		case "chrecv":
+			in.Op = OpChRecv
+		case "chclose":
+			in.Op = OpChClose
+		}
+		return in, nil
+	case "wait", "chsend":
+		// Two operands, plus an optional trailing timeout integer for the
+		// transformer's timed forms.
+		if len(parts) != 2 && len(parts) != 3 {
+			return in, fmt.Errorf("%s expects 2 or 3 operand(s), got %d", op, len(parts))
+		}
+		a, err := p.operand(parts[0])
+		if err != nil {
+			return in, err
+		}
+		b, err := p.operand(parts[1])
+		if err != nil {
+			return in, err
+		}
+		if len(parts) == 3 {
+			t, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return in, err
+			}
+			in.Timeout = t
+		}
+		in.A, in.B = a, b
+		if op == "wait" {
+			in.Op = OpWait
+		} else {
+			in.Op = OpChSend
+		}
+		return in, nil
+	case "cas":
+		if err := need(3); err != nil {
+			return in, err
+		}
+		a, err := p.operand(parts[0])
+		if err != nil {
+			return in, err
+		}
+		b, err := p.operand(parts[1])
+		if err != nil {
+			return in, err
+		}
+		c, err := p.operand(parts[2])
+		if err != nil {
+			return in, err
+		}
+		in.Op, in.A, in.B, in.Args = OpCAS, a, b, []Operand{c}
+		return in, nil
 	case "timedlock":
 		if err := need(2); err != nil {
 			return in, err

@@ -130,6 +130,26 @@ func formatInstrBody(m *Module, f *Function, in *Instr) string {
 		return fmt.Sprintf("sleep %s", opnd(in.A))
 	case OpNop:
 		return "nop"
+	case OpWait:
+		if in.Timeout > 0 {
+			return fmt.Sprintf("%swait %s, %s, %d", dst(), opnd(in.A), opnd(in.B), in.Timeout)
+		}
+		return fmt.Sprintf("wait %s, %s", opnd(in.A), opnd(in.B))
+	case OpSignal:
+		return fmt.Sprintf("signal %s", opnd(in.A))
+	case OpBroadcast:
+		return fmt.Sprintf("broadcast %s", opnd(in.A))
+	case OpChSend:
+		if in.Timeout > 0 {
+			return fmt.Sprintf("%schsend %s, %s, %d", dst(), opnd(in.A), opnd(in.B), in.Timeout)
+		}
+		return fmt.Sprintf("chsend %s, %s", opnd(in.A), opnd(in.B))
+	case OpChRecv:
+		return fmt.Sprintf("%schrecv %s", dst(), opnd(in.A))
+	case OpChClose:
+		return fmt.Sprintf("chclose %s", opnd(in.A))
+	case OpCAS:
+		return fmt.Sprintf("%scas %s, %s, %s", dst(), opnd(in.A), opnd(in.B), opnd(in.Args[0]))
 	case OpCheckpoint:
 		return fmt.Sprintf("checkpoint %d", in.Site)
 	case OpRollback:

@@ -78,9 +78,18 @@ func Verify(m *Module) error {
 				}
 				switch in.Op {
 				case OpConst, OpBin, OpLoadG, OpAddrG, OpLoad, OpLoadS,
-					OpAlloc, OpTimedLock, OpSpawn:
+					OpAlloc, OpTimedLock, OpSpawn, OpChRecv, OpCAS:
 					if in.Dst < 0 {
 						bad("%s: %s requires a destination register", where(ii), in.Op)
+					}
+				case OpWait, OpChSend:
+					// The timed forms return a success flag; the plain forms
+					// have no result.
+					if in.Timeout > 0 && in.Dst < 0 {
+						bad("%s: timed %s requires a destination register", where(ii), in.Op)
+					}
+					if in.Timeout <= 0 && in.Dst >= 0 {
+						bad("%s: untimed %s must not have a destination register", where(ii), in.Op)
 					}
 				}
 				switch in.Op {
@@ -124,6 +133,21 @@ func Verify(m *Module) error {
 				case OpRollback:
 					if in.MaxRetry <= 0 {
 						bad("%s: rollback with non-positive retry bound", where(ii))
+					}
+				case OpWait:
+					if in.A.Kind == OperandNone || in.B.Kind == OperandNone {
+						bad("%s: wait needs a condvar and a mutex operand", where(ii))
+					}
+				case OpChSend:
+					if in.A.Kind == OperandNone || in.B.Kind == OperandNone {
+						bad("%s: chsend needs a channel and a value operand", where(ii))
+					}
+				case OpCAS:
+					if in.A.Kind == OperandNone || in.B.Kind == OperandNone {
+						bad("%s: cas needs an address and an expected-value operand", where(ii))
+					}
+					if len(in.Args) != 1 {
+						bad("%s: cas needs exactly one new-value argument, got %d", where(ii), len(in.Args))
 					}
 				}
 			}

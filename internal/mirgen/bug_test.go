@@ -22,7 +22,11 @@ func TestBugTemplatesWellFormedAndLabeled(t *testing.T) {
 	want := map[BugKind]BugInfo{
 		BugOrder:         {Kind: BugOrder, Global: "bug_flag", ThreadFns: [2]string{"bugreader", "bugwriter"}},
 		BugAtomicity:     {Kind: BugAtomicity, Global: "bug_val", ThreadFns: [2]string{"bugchecker", "bugmutator"}},
-		BugLockInversion: {Kind: BugLockInversion, LockA: "bug_lka", LockB: "bug_lkb", ThreadFns: [2]string{"bugleft", "bugright"}},
+		BugLockInversion:   {Kind: BugLockInversion, LockA: "bug_lka", LockB: "bug_lkb", ThreadFns: [2]string{"bugleft", "bugright"}},
+		BugLostSignal:      {Kind: BugLostSignal, Global: "bug_ready", ThreadFns: [2]string{"bugwaiter", "bugsignaler"}},
+		BugMissedBroadcast: {Kind: BugMissedBroadcast, Global: "bug_stage", ThreadFns: [2]string{"bugwaiters", "bugcaster"}},
+		BugChannelDeadlock: {Kind: BugChannelDeadlock, Global: "bug_stop", ThreadFns: [2]string{"bugsender", "bugreceiver"}},
+		BugCASABA:          {Kind: BugCASABA, Global: "bug_acc", ThreadFns: [2]string{"bugcaschecker", "bugcasmutator"}},
 	}
 	for kind, wi := range want {
 		for seed := int64(0); seed < 20; seed++ {
@@ -96,6 +100,49 @@ func TestBugAtomicityManifestsAndRecovers(t *testing.T) {
 				t.Fatalf("seed %d/%d: observable changed: %+v", seed, s, r.Output)
 			}
 		}
+	}
+}
+
+// TestSyncBugTemplatesManifestAndRecover covers the condvar, channel and
+// cas templates: each must fail with its designed symptom on some PCT
+// schedule, and its hardened twin must complete on every schedule with
+// the template's post-join observable intact.
+func TestSyncBugTemplatesManifestAndRecover(t *testing.T) {
+	cases := []struct {
+		kind    BugKind
+		symptom mir.FailKind
+		bugOut  int64
+	}{
+		{BugLostSignal, mir.FailHang, 1},
+		{BugMissedBroadcast, mir.FailHang, 1},
+		{BugChannelDeadlock, mir.FailHang, 1},
+		{BugCASABA, mir.FailAssert, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				m := Gen(Config{Seed: seed, Bug: tc.kind})
+				manifest(t, m, tc.symptom, 200)
+
+				h, err := core.Harden(m, core.DefaultOptions())
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := transform.CheckInvariants(h.Module, h.Report.Analysis); err != nil {
+					t.Fatalf("seed %d: invariants: %v", seed, err)
+				}
+				for s := int64(0); s < 30; s++ {
+					r := runPCT(h.Module, s)
+					if !r.Completed {
+						t.Fatalf("seed %d/%d: hardened %v not recovered: %v",
+							seed, s, tc.kind, r.Failure)
+					}
+					if len(r.Output) != 1 || r.Output[0].Text != "bug" || r.Output[0].Value != mir.Word(tc.bugOut) {
+						t.Fatalf("seed %d/%d: observable changed: %+v", seed, s, r.Output)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -24,7 +24,7 @@ func FuzzGen(f *testing.F) {
 			Funcs:        funcs,
 			StmtsPerFunc: stmts,
 			Threads:      threads,
-			Bug:          BugKind(bug % 4),
+			Bug:          BugKind(bug % 8),
 		}
 		m := Gen(cfg)
 		if err := mir.Verify(m); err != nil {

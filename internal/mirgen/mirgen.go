@@ -72,6 +72,28 @@ const (
 	// take the same lock pair in opposite orders around a sleep, so some
 	// schedules deadlock.
 	BugLockInversion
+	// BugLostSignal is a lost condition-variable signal: the producer
+	// publishes the predicate and signals without holding the mutex (the
+	// labelled race), so a signal delivered inside the waiter's window
+	// between the locked predicate check and the wait wakes nobody and
+	// the waiter blocks forever.
+	BugLostSignal
+	// BugMissedBroadcast wakes one of two waiters with signal where
+	// broadcast is needed; whenever both waiters are parked the unwoken
+	// one blocks forever. The predicate publish is unlocked, giving the
+	// template a detectable ground-truth race as well.
+	BugMissedBroadcast
+	// BugChannelDeadlock is a producer looping sends into a capacity-1
+	// channel whose consumer drains a single value and stops; the
+	// producer's unlocked read of the consumer's stop flag is the
+	// labelled race, and schedules that miss the flag send into the full
+	// channel forever.
+	BugChannelDeadlock
+	// BugCASABA retires and restores a cell via cas (A→B→A) while a
+	// checker double-reads it with plain loads: the mixed atomic/plain
+	// access is the labelled race, and schedules that land the transient
+	// B inside the checker's window fail its equality assert.
+	BugCASABA
 )
 
 // String implements fmt.Stringer.
@@ -85,6 +107,14 @@ func (k BugKind) String() string {
 		return "atomicity"
 	case BugLockInversion:
 		return "lock-inversion"
+	case BugLostSignal:
+		return "lost-signal"
+	case BugMissedBroadcast:
+		return "missed-broadcast"
+	case BugChannelDeadlock:
+		return "channel-deadlock"
+	case BugCASABA:
+		return "cas-aba"
 	}
 	return fmt.Sprintf("BugKind(%d)", int(k))
 }
@@ -269,6 +299,129 @@ func (g *gen) module() *mir.Module {
 		g.bugOut = cnt
 		g.info = &BugInfo{Kind: BugLockInversion, LockA: "bug_lka", LockB: "bug_lkb",
 			ThreadFns: [2]string{"bugleft", "bugright"}}
+
+	case BugLostSignal:
+		// The signaler stores the predicate and signals without taking the
+		// mutex; the waiter's yield window between its locked predicate
+		// check and the wait lets whole-signaler schedules slip in, after
+		// which the wait can never be woken.
+		ready := g.b.Global("bug_ready", 0)
+		cv := g.b.Global("bug_cv", 0)
+		mtx := g.b.Global("bug_mtx", 0)
+
+		wt := g.b.Func("bugwaiter")
+		g.body(wt, 0, true)
+		g.condWait(wt, cv, mtx, ready)
+		wt.Ret(mir.None)
+
+		sg := g.b.Func("bugsignaler")
+		sg.Sleep(mir.Imm(mir.Word(5 + g.rng.Intn(30))))
+		sg.StoreG(ready, mir.Imm(1))
+		cp := sg.AddrG("cp", cv)
+		sg.Signal(cp)
+		sg.Ret(mir.None)
+		g.bugOut = ready
+		g.info = &BugInfo{Kind: BugLostSignal, Global: "bug_ready",
+			ThreadFns: [2]string{"bugwaiter", "bugsignaler"}}
+
+	case BugMissedBroadcast:
+		// Two waiters park on the same condvar; the caster wakes them with
+		// signal where broadcast is needed, so whenever both are parked one
+		// stays asleep forever. The unlocked predicate store doubles as the
+		// ground-truth race.
+		stage := g.b.Global("bug_stage", 0)
+		cv := g.b.Global("bug_cv", 0)
+		mtx := g.b.Global("bug_mtx", 0)
+
+		inner := g.b.Func("bugwaitinner")
+		g.condWait(inner, cv, mtx, stage)
+		inner.Ret(mir.None)
+
+		outer := g.b.Func("bugwaiters")
+		ti := outer.Spawn("ti", "bugwaitinner")
+		g.body(outer, 0, true)
+		g.condWait(outer, cv, mtx, stage)
+		outer.Join(ti)
+		outer.Ret(mir.None)
+
+		ca := g.b.Func("bugcaster")
+		ca.Sleep(mir.Imm(mir.Word(5 + g.rng.Intn(30))))
+		ca.StoreG(stage, mir.Imm(1))
+		cp := ca.AddrG("cp", cv)
+		ca.Signal(cp) // the bug: wakes at most one of the two waiters
+		ca.Ret(mir.None)
+		g.bugOut = stage
+		g.info = &BugInfo{Kind: BugMissedBroadcast, Global: "bug_stage",
+			ThreadFns: [2]string{"bugwaiters", "bugcaster"}}
+
+	case BugChannelDeadlock:
+		// The channel cell's initial value is its capacity (read once at
+		// creation): a capacity-1 channel. The receiver drains one value
+		// and publishes a stop flag without synchronization; a sender
+		// schedule that misses the flag blocks on the full channel forever
+		// (two sends can complete — one drained, one buffered — the third
+		// never can).
+		ch := g.b.Global("bug_ch", 1)
+		stop := g.b.Global("bug_stop", 0)
+
+		sd := g.b.Func("bugsender")
+		chp := sd.AddrG("chp", ch)
+		sd.Const("i", 0)
+		loop := sd.Label("sendloop")
+		s := sd.LoadG("s", stop)
+		sdone := sd.NewBlock("sdone")
+		sbody := sd.NewBlock("sbody")
+		sd.Br(s, sdone, sbody)
+		sd.SetBlock(sbody)
+		sd.ChSend(chp, sd.R("i"))
+		sd.Bin("i", mir.BinAdd, sd.R("i"), mir.Imm(1))
+		c := sd.Bin("c", mir.BinLt, sd.R("i"), mir.Imm(6))
+		sd.Br(c, loop, sdone)
+		sd.SetBlock(sdone)
+		sd.Ret(mir.None)
+
+		rc := g.b.Func("bugreceiver")
+		chp2 := rc.AddrG("chp", ch)
+		rc.ChRecv("v", chp2)
+		rc.StoreG(stop, mir.Imm(1))
+		rc.Ret(mir.None)
+		g.bugOut = stop
+		g.info = &BugInfo{Kind: BugChannelDeadlock, Global: "bug_stop",
+			ThreadFns: [2]string{"bugsender", "bugreceiver"}}
+
+	case BugCASABA:
+		// The mutator takes the cell A→B→A with two cas ops; the checker's
+		// plain double-read can observe the transient B and fail, and the
+		// plain-vs-atomic access pair is the labelled race (cas-vs-cas
+		// pairs are ordered by the detector, plain loads are not).
+		acc := g.b.Global("bug_acc", 2)
+
+		ck := g.b.Func("bugcaschecker")
+		a := ck.LoadG("a", acc)
+		ck.Const("wi", 0)
+		loop := ck.Label("window")
+		ck.Yield()
+		ck.Bin("wi", mir.BinAdd, ck.R("wi"), mir.Imm(1))
+		wc := ck.Bin("wc", mir.BinLt, ck.R("wi"), mir.Imm(40))
+		after := ck.NewBlock("window_end")
+		ck.Br(wc, loop, after)
+		ck.SetBlock(after)
+		bv := ck.LoadG("b", acc)
+		eq := ck.Bin("eq", mir.BinEq, a, bv)
+		ck.Assert(eq, "injected: cas mutator tore plain double read")
+		g.body(ck, 0, true)
+		ck.Ret(mir.None)
+
+		mu := g.b.Func("bugcasmutator")
+		mu.Sleep(mir.Imm(mir.Word(5 + g.rng.Intn(30))))
+		mp := mu.AddrG("mp", acc)
+		mu.CAS("r1", mp, mir.Imm(2), mir.Imm(0))
+		mu.Yield()
+		mu.CAS("r2", mp, mir.Imm(0), mir.Imm(2))
+		mu.Ret(mir.None)
+		g.bugOut = acc
+		g.info = &BugInfo{Kind: BugCASABA, Global: "bug_acc",
+			ThreadFns: [2]string{"bugcaschecker", "bugcasmutator"}}
 	}
 
 	m := g.b.Func("main")
@@ -343,6 +496,41 @@ func (g *gen) value(f *mir.FuncBuilder) mir.Operand {
 		ops := []mir.BinOp{mir.BinAdd, mir.BinSub, mir.BinMul, mir.BinXor, mir.BinAnd, mir.BinOr}
 		return f.Bin(g.reg(), ops[g.rng.Intn(len(ops))], a, b)
 	}
+}
+
+// condWait emits the canonical guarded wait loop
+//
+//	lock m; while (!flag) wait cv, m; unlock m
+//
+// with a bounded yield window between the predicate check and the wait.
+// The window is the bug's preemption point: a peer that stores the flag
+// and signals entirely inside it (without the mutex — that unlocked store
+// is the template's labelled race) wakes nobody, and the subsequent wait
+// can then block forever. Hardened programs convert the wait to its timed
+// form, whose timeout rolls back past the (compensated) lock and re-reads
+// the flag, which the peer has set by then.
+func (g *gen) condWait(f *mir.FuncBuilder, cv, mtx, flag int) {
+	mp := f.AddrG("mp", mtx)
+	cp := f.AddrG("cvp", cv)
+	f.Lock(mp)
+	loop := f.Label("cvloop")
+	r := f.LoadG("rdy", flag)
+	done := f.NewBlock("cvdone")
+	slow := f.NewBlock("cvslow")
+	f.Br(r, done, slow)
+	f.SetBlock(slow)
+	f.Const("cwi", 0)
+	w := f.Label("cvwindow")
+	f.Yield()
+	f.Bin("cwi", mir.BinAdd, f.R("cwi"), mir.Imm(1))
+	wc := f.Bin("cwc", mir.BinLt, f.R("cwi"), mir.Imm(40))
+	arm := f.NewBlock("cvarm")
+	f.Br(wc, w, arm)
+	f.SetBlock(arm)
+	f.Wait(cp, mp)
+	f.Jmp(loop)
+	f.SetBlock(done)
+	f.Unlock(mp)
 }
 
 // body emits a random statement sequence. mt suppresses statements whose

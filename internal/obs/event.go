@@ -62,6 +62,12 @@ const (
 	BlockSleep int64 = iota
 	BlockLock
 	BlockJoin
+	// BlockCond: parked on a condition variable (wait).
+	BlockCond
+	// BlockChanSend / BlockChanRecv: parked on a full (resp. empty)
+	// bounded channel.
+	BlockChanSend
+	BlockChanRecv
 )
 
 var kindNames = [numKinds]string{

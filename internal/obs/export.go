@@ -174,6 +174,12 @@ func BuildChromeTrace(events []Event) *ChromeTrace {
 				reason = "lock"
 			case BlockJoin:
 				reason = "join"
+			case BlockCond:
+				reason = "cond"
+			case BlockChanSend:
+				reason = "chan-send"
+			case BlockChanRecv:
+				reason = "chan-recv"
 			}
 			t.TraceEvents = append(t.TraceEvents,
 				instant(e, "thread-block", map[string]any{"reason": reason}))

@@ -87,9 +87,10 @@ func TestPaperBugsRoundTrip(t *testing.T) {
 }
 
 // templateConfigs yields the 50 mirgen bug-template generator seeds the
-// replay and minimization tests sweep, cycling the three template kinds.
+// replay and minimization tests sweep, cycling all seven template kinds.
 func templateConfigs() []mirgen.Config {
-	kinds := []mirgen.BugKind{mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion}
+	kinds := []mirgen.BugKind{mirgen.BugOrder, mirgen.BugAtomicity, mirgen.BugLockInversion,
+		mirgen.BugLostSignal, mirgen.BugMissedBroadcast, mirgen.BugChannelDeadlock, mirgen.BugCASABA}
 	cfgs := make([]mirgen.Config, 0, 50)
 	for i := 0; i < 50; i++ {
 		cfgs = append(cfgs, mirgen.Config{Seed: int64(i), Threads: 2, Bug: kinds[i%len(kinds)]})

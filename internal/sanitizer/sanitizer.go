@@ -52,8 +52,16 @@ type Sanitizer struct {
 	fclocks [][]int64
 
 	// lockRel holds each lock's release clock (the releasing thread's
-	// clock at its latest unlock), joined into acquirers.
+	// clock at its latest unlock), joined into acquirers. cvRel, chRel and
+	// casRel are the same mechanism for the synchronization extensions:
+	// signal/broadcast publish on the condvar and a signalled wait-return
+	// joins; send/close publish on the channel and a receive joins; a cas
+	// publishes on its address and every later cas there joins first — so
+	// cas-vs-cas on one word never races while plain-vs-cas still does.
 	lockRel map[mir.Word][]int64
+	cvRel   map[mir.Word][]int64
+	chRel   map[mir.Word][]int64
+	casRel  map[mir.Word][]int64
 
 	// held is each thread's current lock set in acquisition order.
 	held map[int][]heldLock
@@ -80,6 +88,9 @@ func New(mod *mir.Module) *Sanitizer {
 		MaxReports: DefaultMaxReports,
 		mod:        mod,
 		lockRel:    map[mir.Word][]int64{},
+		cvRel:      map[mir.Word][]int64{},
+		chRel:      map[mir.Word][]int64{},
+		casRel:     map[mir.Word][]int64{},
 		held:       map[int][]heldLock{},
 		shadow:     map[mir.Word]*cell{},
 		edgeSeen:   map[edgeKey]struct{}{},
@@ -274,6 +285,74 @@ func (s *Sanitizer) recordEdges(tid int, addr mir.Word, timed bool, pos mir.Pos)
 			fromPos: h.pos, toPos: pos,
 		})
 	}
+}
+
+// CondSignal implements interp.Sanitizer: a signal or broadcast publishes
+// the signaller's clock on the condvar. The clock is stored even when no
+// waiter consumes it (the interpreter cannot know which wait will), a
+// deliberate over-approximation: a wait-return may join the clock of a
+// signal it did not consume, which can only add ordering — fewer false
+// positives, never more.
+func (s *Sanitizer) CondSignal(tid int, cv mir.Word, broadcast bool, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	s.cvRel[cv] = append(s.cvRel[cv][:0], s.clocks[tid]...)
+	s.clocks[tid][tid]++
+}
+
+// CondWake implements interp.Sanitizer: a wait that consumed a signal is
+// ordered after the signaller — the signal→wait-return edge.
+func (s *Sanitizer) CondWake(tid int, cv mir.Word, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	if rel := s.cvRel[cv]; rel != nil {
+		joinVC(&s.clocks[tid], rel)
+	}
+}
+
+// ChanSend implements interp.Sanitizer: a completed send publishes the
+// sender's clock on the channel (the send→recv edge's release half).
+func (s *Sanitizer) ChanSend(tid int, ch mir.Word, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	s.chRel[ch] = append(s.chRel[ch][:0], s.clocks[tid]...)
+	s.clocks[tid][tid]++
+}
+
+// ChanRecv implements interp.Sanitizer: a completed receive joins the
+// channel's release clock — including a zero-value receive from a closed,
+// drained channel, which is ordered after the close.
+func (s *Sanitizer) ChanRecv(tid int, ch mir.Word, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	if rel := s.chRel[ch]; rel != nil {
+		joinVC(&s.clocks[tid], rel)
+	}
+}
+
+// ChanClose implements interp.Sanitizer: close publishes like a send.
+func (s *Sanitizer) ChanClose(tid int, ch mir.Word, pos mir.Pos) {
+	s.ChanSend(tid, ch, pos)
+}
+
+// AtomicCAS implements interp.Sanitizer. The acquire half joins the
+// address's CAS release clock BEFORE the shadow check, so two cas
+// operations on the same word are always ordered (atomics never race with
+// atomics); the shadow check then still catches a plain load or store
+// racing the cas. Failed cas operations publish too — they are atomic
+// loads, and ordering atomics totally costs nothing in precision.
+func (s *Sanitizer) AtomicCAS(tid int, addr mir.Word, success bool, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	if rel := s.casRel[addr]; rel != nil {
+		joinVC(&s.clocks[tid], rel)
+	}
+	s.Access(tid, addr, false, pos)
+	if success {
+		s.Access(tid, addr, true, pos)
+	}
+	s.casRel[addr] = append(s.casRel[addr][:0], s.clocks[tid]...)
+	s.clocks[tid][tid]++
 }
 
 // Access implements interp.Sanitizer.

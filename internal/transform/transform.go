@@ -240,15 +240,34 @@ func rewriteFunction(f *mir.Function, cps []analysis.Checkpoint,
 				emit(deref)
 
 			case analysis.SiteDeadlock:
-				// Figure 5d: lock → timedlock; timeout enters recovery
-				// with random backoff against livelock.
+				// Figure 5d: the blocking acquisition becomes its timed
+				// form — lock → timedlock, wait → timed wait, chsend →
+				// timed chsend — and a timeout enters recovery with random
+				// backoff against livelock. The timed wait leaves its mutex
+				// released on timeout, so the rollback re-executes the
+				// (compensated) lock, the predicate check and the wait from
+				// scratch; the timed send re-checks whatever shared
+				// condition stopped the peer from receiving.
 				got := newReg(fmt.Sprintf(".lk%d", site.ID))
 				recover := appendBlock(label + ".recover")
 				cont := appendBlock(label + ".cont")
-				emit(mir.Instr{
+				timed := mir.Instr{
 					Op: mir.OpTimedLock, Dst: got, A: in.A,
 					Timeout: opts.LockTimeout, Site: site.ID,
-				})
+				}
+				switch in.Op {
+				case mir.OpWait, mir.OpChSend:
+					timed.Op = in.Op
+					timed.B = in.B
+				}
+				emit(timed)
+				failText := "lock acquisition timed out after exhausted recovery"
+				switch in.Op {
+				case mir.OpWait:
+					failText = "condition wait timed out after exhausted recovery"
+				case mir.OpChSend:
+					failText = "channel send timed out after exhausted recovery"
+				}
 				emit(mir.Instr{
 					Op: mir.OpBr, Dst: -1, A: mir.Reg(got),
 					Then: cont, Else: recover, Site: site.ID,
@@ -257,7 +276,7 @@ func rewriteFunction(f *mir.Function, cps []analysis.Checkpoint,
 					{Op: mir.OpSleepRand, Dst: -1, A: mir.Imm(opts.LivelockBackoff)},
 					{Op: mir.OpRollback, Dst: -1, Site: site.ID, MaxRetry: opts.MaxRetry},
 					{Op: mir.OpFail, Dst: -1, FailKind: mir.FailDeadlock, Site: site.ID,
-						Text: "lock acquisition timed out after exhausted recovery"},
+						Text: failText},
 				}
 				startSegment(cont)
 			}
