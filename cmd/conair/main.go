@@ -223,8 +223,9 @@ func main() {
 func runSanitize(m *mir.Module, budget, maxSteps int64, quiet bool) bool {
 	seen := map[string]bool{}
 	runs := int64(0)
+	san := sanitizer.New(m)
 	for seed := int64(0); seed < budget; seed++ {
-		san := sanitizer.New(m)
+		san.Reset(m)
 		cfg := interp.Config{
 			Sched:     sched.NewPCT(seed, 3, 64),
 			MaxSteps:  maxSteps,

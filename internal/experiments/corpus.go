@@ -96,14 +96,17 @@ func CrossCheckCorpus(b *bugs.Bug, budget int64) error {
 	}
 	p := prep(b)
 
-	// Leg 1: detection with zero false positives.
+	// Leg 1: detection with zero false positives. One pooled sanitizer
+	// serves the whole sweep; reports are consumed before the next Reset.
+	san := sanPool.Get().(*sanitizer.Sanitizer)
+	defer sanPool.Put(san)
 	searchMod := p.forcedSurv.Module
 	if b.Symptom == mir.FailHang {
 		searchMod = p.forced
 	}
 	found := false
 	for seed := int64(0); seed < budget; seed++ {
-		san, _ := SanitizeRun(searchMod, pctCfg(seed, expMaxSteps))
+		sanitizePooled(san, searchMod, pctCfg(seed, expMaxSteps))
 		for _, r := range san.Reports() {
 			if r.Kind == sanitizer.KindDeadlock {
 				return fmt.Errorf("%s, schedule %d: spurious deadlock prediction (%s,%s)",
@@ -123,7 +126,7 @@ func CrossCheckCorpus(b *bugs.Bug, budget int64) error {
 
 	// Leg 2: the modelled upstream fix soaks clean.
 	for seed := int64(0); seed < budget; seed++ {
-		san, r := SanitizeRun(p.clean, pctCfg(seed, expMaxSteps))
+		r := sanitizePooled(san, p.clean, pctCfg(seed, expMaxSteps))
 		if !r.Completed {
 			return fmt.Errorf("%s fixed twin, schedule %d: failed: %v", b.Name, seed, r.Failure)
 		}

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"conair/internal/bugs"
 	"conair/internal/core"
@@ -41,12 +44,117 @@ func pctCfg(seed, maxSteps int64) interp.Config {
 	}
 }
 
+// sanPool recycles sanitizers across search seeds (and searches): Reset
+// hands each run a clean detector that reuses every map bucket, shadow
+// cell, clock slice and arena region from previous runs, so a seed sweep
+// over one program shape is allocation-free after the first seed.
+var sanPool = sync.Pool{New: func() any { return sanitizer.New(nil) }}
+
 // SanitizeSearch runs mod under PCT schedule seeds 0..budget-1, returning
 // the first schedule seed whose sanitized run produced reports together
 // with those reports, or (-1, nil) when the whole budget stayed clean.
+//
+// Seeds fan out over the engine's worker pool, with deterministic
+// first-hit semantics: the lowest flagging seed wins regardless of
+// completion order. The engine dispatches seeds in ascending order, so
+// when a seed flags, every lower seed is already in flight and runs to
+// completion uninterrupted — only higher seeds are cancelled (via
+// interp.Config.Interrupt) or skipped, and a later hit at a lower seed
+// simply lowers the watermark. The winning seed's run is therefore always
+// a complete deterministic run, and its reports are identical to what the
+// sequential walk returns. With a single worker the engine degenerates to
+// exactly that sequential walk.
 func SanitizeSearch(mod *mir.Module, budget, maxSteps int64) (int64, []sanitizer.Report) {
+	n := int(budget)
+	if n <= 0 {
+		return -1, nil
+	}
+	reports := make([][]sanitizer.Report, n)
+	cancels := make([]atomic.Bool, n)
+	// best is the lowest flagging seed so far; n means "none yet".
+	var best atomic.Int64
+	best.Store(int64(n))
+	cancelled := reg.Counter("sanitize_search_seeds_cancelled_total")
+	eng.All(n, func(i int) bool {
+		if best.Load() < int64(i) {
+			// A lower seed already flagged; this seed cannot win.
+			cancelled.Inc()
+			return false
+		}
+		san := sanPool.Get().(*sanitizer.Sanitizer)
+		san.Reset(mod)
+		cfg := pctCfg(int64(i), maxSteps)
+		cfg.Sanitizer = san
+		cfg.Interrupt = &cancels[i]
+		// Supplying Interrupt suppresses the engine's own watchdog, so arm
+		// an equivalent one on the shared flag.
+		var watchdog *time.Timer
+		if d := eng.JobTimeout; d > 0 {
+			watchdog = time.AfterFunc(d, func() { cancels[i].Store(true) })
+		}
+		eng.RunJob(mod, cfg, replay.Meta{Label: mod.Name + "-sanitize", Seed: int64(i)})
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+		san.RecordMetrics(reg)
+		if rs := san.Reports(); len(rs) > 0 {
+			// Copy out: san goes back to the pool and the next Reset
+			// recycles its report storage.
+			reports[i] = append([]sanitizer.Report(nil), rs...)
+		}
+		sanPool.Put(san)
+		if best.Load() < int64(i) {
+			// Lost to a lower seed, possibly after being interrupted
+			// mid-run; the (possibly partial) verdict is discarded.
+			reports[i] = nil
+			cancelled.Inc()
+			return false
+		}
+		if reports[i] == nil {
+			return true
+		}
+		for {
+			cur := best.Load()
+			if int64(i) >= cur {
+				break
+			}
+			if best.CompareAndSwap(cur, int64(i)) {
+				for j := i + 1; j < n; j++ {
+					cancels[j].Store(true)
+				}
+				break
+			}
+		}
+		return false
+	})
+	if w := best.Load(); w < int64(n) {
+		return w, reports[w]
+	}
+	return -1, nil
+}
+
+// sanitizePooled is the recycled-sanitizer variant of SanitizeRun for
+// tight sweep loops: san must come from sanPool (or New) and its reports
+// are only valid until the caller's next Reset. Same engine job path and
+// metrics flow as SanitizeRun.
+func sanitizePooled(san *sanitizer.Sanitizer, mod *mir.Module, cfg interp.Config) *interp.Result {
+	san.Reset(mod)
+	cfg.Sanitizer = san
+	r := eng.RunJob(mod, cfg, replay.Meta{Label: mod.Name + "-sanitize"})
+	san.RecordMetrics(reg)
+	return r
+}
+
+// SanitizeSearchRef is the sequential oracle for SanitizeSearch: the same
+// seed walk with a fresh Reference detector per seed, no engine, no
+// cancellation. The parallel-determinism tests pin SanitizeSearch's
+// (seed, reports) pair against it.
+func SanitizeSearchRef(mod *mir.Module, budget, maxSteps int64) (int64, []sanitizer.Report) {
 	for seed := int64(0); seed < budget; seed++ {
-		san, _ := SanitizeRun(mod, pctCfg(seed, maxSteps))
+		san := sanitizer.NewReference(mod)
+		cfg := pctCfg(seed, maxSteps)
+		cfg.Sanitizer = san
+		interp.RunModule(mod, cfg)
 		if rs := san.Reports(); len(rs) > 0 {
 			return seed, rs
 		}
@@ -149,10 +257,13 @@ func CrossCheckTemplate(genCfg mirgen.Config, budget int64) error {
 		return fmt.Errorf("harden: %w", err)
 	}
 
-	// Leg 1: detection with zero false positives.
+	// Leg 1: detection with zero false positives. One pooled sanitizer
+	// serves the whole sweep; reports are consumed before the next Reset.
+	san := sanPool.Get().(*sanitizer.Sanitizer)
+	defer sanPool.Put(san)
 	found := false
 	for seed := int64(0); seed < budget; seed++ {
-		san, _ := SanitizeRun(mod, pctCfg(seed, maxSteps))
+		sanitizePooled(san, mod, pctCfg(seed, maxSteps))
 		for _, r := range san.Reports() {
 			if err := matchesInfo(r, info); err != nil {
 				return fmt.Errorf("%v template, schedule %d: false positive: %v", info.Kind, seed, err)
@@ -162,7 +273,7 @@ func CrossCheckTemplate(genCfg mirgen.Config, budget int64) error {
 	}
 	if !found {
 		for seed := int64(0); seed < budget; seed++ {
-			san, _ := SanitizeRun(h.Module, pctCfg(seed, maxSteps))
+			sanitizePooled(san, h.Module, pctCfg(seed, maxSteps))
 			for _, r := range san.Reports() {
 				if err := matchesInfo(r, info); err != nil {
 					return fmt.Errorf("%v template, hardened schedule %d: false positive: %v",
@@ -183,7 +294,7 @@ func CrossCheckTemplate(genCfg mirgen.Config, budget int64) error {
 	cleanCfg.InjectBug = false
 	cleanMod := mirgen.Gen(cleanCfg)
 	for seed := int64(0); seed < budget; seed++ {
-		san, r := SanitizeRun(cleanMod, pctCfg(seed, maxSteps))
+		r := sanitizePooled(san, cleanMod, pctCfg(seed, maxSteps))
 		if r.Failure != nil {
 			return fmt.Errorf("clean twin, schedule %d: failed: %v", seed, r.Failure)
 		}

@@ -1,0 +1,288 @@
+package sanitizer
+
+import (
+	"conair/internal/interp"
+	"conair/internal/mir"
+)
+
+// Reference is the original PR-3 detector, preserved verbatim as the
+// trusted oracle for the epoch Sanitizer (the interp.RunReference
+// pattern): per-address shadow state and release clocks in maps, a fresh
+// copy of the releasing thread's clock per publish, and the quadratic
+// deadlock pair scan in Finish. It is deliberately simple rather than
+// fast; the differential sweep pins the production Sanitizer's reports,
+// truncation and access/sync counters to it on every trace.
+type Reference struct {
+	reporter
+
+	// clocks is the full happens-before vector clock per thread id;
+	// fclocks tracks only fork/join edges and drives deadlock prediction.
+	clocks  [][]int64
+	fclocks [][]int64
+
+	// lockRel holds each lock's release clock (the releasing thread's
+	// clock at its latest unlock), joined into acquirers. cvRel, chRel and
+	// casRel are the same mechanism for condvars, channels and cas words.
+	lockRel map[mir.Word][]int64
+	cvRel   map[mir.Word][]int64
+	chRel   map[mir.Word][]int64
+	casRel  map[mir.Word][]int64
+
+	// held is each thread's current lock set in acquisition order.
+	held map[int][]heldLock
+
+	shadow map[mir.Word]*cell
+
+	edges    []lockEdge
+	edgeSeen map[edgeKey]struct{}
+
+	accesses int64
+	syncOps  int64
+	finished bool
+}
+
+// NewReference returns the reference detector for a run of mod.
+func NewReference(mod *mir.Module) *Reference {
+	s := &Reference{
+		lockRel:  map[mir.Word][]int64{},
+		cvRel:    map[mir.Word][]int64{},
+		chRel:    map[mir.Word][]int64{},
+		casRel:   map[mir.Word][]int64{},
+		held:     map[int][]heldLock{},
+		shadow:   map[mir.Word]*cell{},
+		edgeSeen: map[edgeKey]struct{}{},
+	}
+	s.MaxReports = DefaultMaxReports
+	s.resetReports(mod)
+	return s
+}
+
+var _ interp.Sanitizer = (*Reference)(nil)
+
+func (s *Reference) thread(tid int) {
+	for tid >= len(s.clocks) {
+		s.clocks = append(s.clocks, nil)
+		s.fclocks = append(s.fclocks, nil)
+	}
+	if s.clocks[tid] == nil {
+		vc := make([]int64, tid+1)
+		vc[tid] = 1
+		s.clocks[tid] = vc
+		fc := make([]int64, tid+1)
+		fc[tid] = 1
+		s.fclocks[tid] = fc
+	}
+}
+
+// ThreadSpawn implements interp.Sanitizer.
+func (s *Reference) ThreadSpawn(parent, child int) {
+	s.syncOps++
+	s.thread(child)
+	if parent < 0 {
+		return
+	}
+	s.thread(parent)
+	joinVC(&s.clocks[child], s.clocks[parent])
+	joinVC(&s.fclocks[child], s.fclocks[parent])
+	s.clocks[parent][parent]++
+	s.fclocks[parent][parent]++
+}
+
+// ThreadJoin implements interp.Sanitizer.
+func (s *Reference) ThreadJoin(waiter, target int) {
+	s.syncOps++
+	s.thread(waiter)
+	s.thread(target)
+	joinVC(&s.clocks[waiter], s.clocks[target])
+	joinVC(&s.fclocks[waiter], s.fclocks[target])
+}
+
+// LockRequest implements interp.Sanitizer.
+func (s *Reference) LockRequest(tid int, addr mir.Word, timed bool, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	s.recordEdges(tid, addr, timed, pos)
+}
+
+// LockAcquire implements interp.Sanitizer.
+func (s *Reference) LockAcquire(tid int, addr mir.Word, timed bool, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	if rel := s.lockRel[addr]; rel != nil {
+		joinVC(&s.clocks[tid], rel)
+	}
+	s.recordEdges(tid, addr, timed, pos)
+	s.held[tid] = append(s.held[tid], heldLock{addr: addr, timed: timed, pos: pos})
+}
+
+// LockRelease implements interp.Sanitizer.
+func (s *Reference) LockRelease(tid int, addr mir.Word) {
+	s.syncOps++
+	s.thread(tid)
+	s.lockRel[addr] = append(s.lockRel[addr][:0], s.clocks[tid]...)
+	s.clocks[tid][tid]++
+	hs := s.held[tid]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].addr == addr {
+			s.held[tid] = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Reference) recordEdges(tid int, addr mir.Word, timed bool, pos mir.Pos) {
+	hs := s.held[tid]
+	if len(hs) == 0 {
+		return
+	}
+	for _, h := range hs {
+		if h.addr == addr {
+			continue
+		}
+		k := edgeKey{from: h.addr, to: addr, tid: tid}
+		if _, dup := s.edgeSeen[k]; dup {
+			continue
+		}
+		s.edgeSeen[k] = struct{}{}
+		heldAt := make([]mir.Word, len(hs))
+		for i, hh := range hs {
+			heldAt[i] = hh.addr
+		}
+		s.edges = append(s.edges, lockEdge{
+			from: h.addr, to: addr, tid: tid,
+			timed:   timed || h.timed,
+			fvc:     append([]int64(nil), s.fclocks[tid]...),
+			heldAt:  heldAt,
+			fromPos: h.pos, toPos: pos,
+		})
+	}
+}
+
+// CondSignal implements interp.Sanitizer.
+func (s *Reference) CondSignal(tid int, cv mir.Word, broadcast bool, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	s.cvRel[cv] = append(s.cvRel[cv][:0], s.clocks[tid]...)
+	s.clocks[tid][tid]++
+}
+
+// CondWake implements interp.Sanitizer.
+func (s *Reference) CondWake(tid int, cv mir.Word, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	if rel := s.cvRel[cv]; rel != nil {
+		joinVC(&s.clocks[tid], rel)
+	}
+}
+
+// ChanSend implements interp.Sanitizer.
+func (s *Reference) ChanSend(tid int, ch mir.Word, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	s.chRel[ch] = append(s.chRel[ch][:0], s.clocks[tid]...)
+	s.clocks[tid][tid]++
+}
+
+// ChanRecv implements interp.Sanitizer.
+func (s *Reference) ChanRecv(tid int, ch mir.Word, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	if rel := s.chRel[ch]; rel != nil {
+		joinVC(&s.clocks[tid], rel)
+	}
+}
+
+// ChanClose implements interp.Sanitizer.
+func (s *Reference) ChanClose(tid int, ch mir.Word, pos mir.Pos) {
+	s.ChanSend(tid, ch, pos)
+}
+
+// AtomicCAS implements interp.Sanitizer.
+func (s *Reference) AtomicCAS(tid int, addr mir.Word, success bool, pos mir.Pos) {
+	s.syncOps++
+	s.thread(tid)
+	if rel := s.casRel[addr]; rel != nil {
+		joinVC(&s.clocks[tid], rel)
+	}
+	s.Access(tid, addr, false, pos)
+	if success {
+		s.Access(tid, addr, true, pos)
+	}
+	s.casRel[addr] = append(s.casRel[addr][:0], s.clocks[tid]...)
+	s.clocks[tid][tid]++
+}
+
+// Access implements interp.Sanitizer.
+func (s *Reference) Access(tid int, addr mir.Word, write bool, pos mir.Pos) {
+	s.accesses++
+	s.thread(tid)
+	c := s.shadow[addr]
+	if c == nil {
+		c = &cell{}
+		s.shadow[addr] = c
+	}
+	vc := s.clocks[tid]
+	if write {
+		if c.hasW && c.w.tid != tid && c.w.clk > at(vc, c.w.tid) {
+			s.race(KindWriteWrite, addr, c.w, true, epoch{tid: tid, clk: vc[tid], pos: pos}, true)
+		}
+		for _, r := range c.reads {
+			if r.tid != tid && r.clk > at(vc, r.tid) {
+				s.race(KindReadWrite, addr, r, false, epoch{tid: tid, clk: vc[tid], pos: pos}, true)
+			}
+		}
+		c.w = epoch{tid: tid, clk: vc[tid], pos: pos}
+		c.hasW = true
+		c.reads = c.reads[:0]
+		return
+	}
+	if c.hasW && c.w.tid != tid && c.w.clk > at(vc, c.w.tid) {
+		s.race(KindReadWrite, addr, c.w, true, epoch{tid: tid, clk: vc[tid], pos: pos}, false)
+	}
+	for i := range c.reads {
+		if c.reads[i].tid == tid {
+			c.reads[i] = epoch{tid: tid, clk: vc[tid], pos: pos}
+			return
+		}
+	}
+	c.reads = append(c.reads, epoch{tid: tid, clk: vc[tid], pos: pos})
+}
+
+// Finish runs the quadratic deadlock pair scan and freezes the report
+// list; calling it twice is a no-op.
+func (s *Reference) Finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	for i := range s.edges {
+		for j := i + 1; j < len(s.edges); j++ {
+			e1, e2 := &s.edges[i], &s.edges[j]
+			if e1.to != e2.from || e2.to != e1.from || e1.tid == e2.tid {
+				continue
+			}
+			if e1.timed || e2.timed {
+				continue
+			}
+			if !concurrent(e1.fvc, e2.fvc) {
+				continue
+			}
+			if gated(e1, e2) {
+				continue
+			}
+			s.deadlock(e1, e2)
+		}
+	}
+}
+
+// Reports returns the report list, finishing the analysis first.
+func (s *Reference) Reports() []Report {
+	s.Finish()
+	return s.reports
+}
+
+// Accesses returns the number of shadow-checked memory accesses.
+func (s *Reference) Accesses() int64 { return s.accesses }
+
+// SyncOps returns the number of synchronization events observed.
+func (s *Reference) SyncOps() int64 { return s.syncOps }

@@ -6,7 +6,6 @@ import (
 
 	"conair/internal/interp"
 	"conair/internal/mir"
-	"conair/internal/obs"
 )
 
 // Kind classifies a sanitizer report.
@@ -94,8 +93,49 @@ func rw(write bool) string {
 	return "read"
 }
 
+// reporter is the report-emission state shared by the epoch Sanitizer and
+// the Reference detector: dedup sets, the capped report list, and the
+// module used to resolve names and positions. Both detectors emit through
+// the same code so that report equality in the differential sweep compares
+// detection logic, not formatting.
+type reporter struct {
+	// MaxReports caps stored reports (default DefaultMaxReports).
+	MaxReports int
+
+	mod *mir.Module
+
+	reports   []Report
+	raceSeen  map[raceKey]struct{}
+	dlSeen    map[[2]mir.Word]struct{}
+	truncated int64
+}
+
+type raceKey struct {
+	kind       Kind
+	addr       mir.Word
+	prior, cur mir.Pos
+}
+
+// resetReports clears the emission state in place, keeping map buckets and
+// slice capacity for reuse.
+func (s *reporter) resetReports(mod *mir.Module) {
+	s.mod = mod
+	s.reports = s.reports[:0]
+	if s.raceSeen == nil {
+		s.raceSeen = map[raceKey]struct{}{}
+	} else {
+		clear(s.raceSeen)
+	}
+	if s.dlSeen == nil {
+		s.dlSeen = map[[2]mir.Word]struct{}{}
+	} else {
+		clear(s.dlSeen)
+	}
+	s.truncated = 0
+}
+
 // site renders pos as func:block:index using the module's function names.
-func (s *Sanitizer) site(pos mir.Pos) string {
+func (s *reporter) site(pos mir.Pos) string {
 	if s.mod != nil && pos.Fn >= 0 && pos.Fn < len(s.mod.Functions) {
 		return fmt.Sprintf("%s:%d:%d", s.mod.Functions[pos.Fn].Name, pos.Block, pos.Index)
 	}
@@ -103,14 +143,14 @@ func (s *Sanitizer) site(pos mir.Pos) string {
 }
 
 // lockName names a lock address for reports.
-func (s *Sanitizer) lockName(addr mir.Word) string {
+func (s *reporter) lockName(addr mir.Word) string {
 	if g := s.globalName(addr); g != "" {
 		return g
 	}
 	return fmt.Sprintf("lock@%d", addr)
 }
 
-func (s *Sanitizer) globalName(addr mir.Word) string {
+func (s *reporter) globalName(addr mir.Word) string {
 	if s.mod == nil || addr < interp.GlobalBase {
 		return ""
 	}
@@ -121,7 +161,7 @@ func (s *Sanitizer) globalName(addr mir.Word) string {
 	return ""
 }
 
-func (s *Sanitizer) race(kind Kind, addr mir.Word, prior epoch, priorWrite bool, cur epoch, curWrite bool) {
+func (s *reporter) race(kind Kind, addr mir.Word, prior epoch, priorWrite bool, cur epoch, curWrite bool) {
 	// Normalize the position pair so the same racy pair discovered in
 	// either order dedupes to one report.
 	p1, p2 := prior.pos, cur.pos
@@ -148,7 +188,7 @@ func (s *Sanitizer) race(kind Kind, addr mir.Word, prior epoch, priorWrite bool,
 	})
 }
 
-func (s *Sanitizer) deadlock(e1, e2 *lockEdge) {
+func (s *reporter) deadlock(e1, e2 *lockEdge) {
 	// Normalize the pair so each inverted lock pair is reported once no
 	// matter how many threads exhibit it.
 	pair := [2]mir.Word{e1.from, e1.to}
@@ -180,34 +220,38 @@ func (s *Sanitizer) deadlock(e1, e2 *lockEdge) {
 	})
 }
 
-func (s *Sanitizer) maxReports() int {
+func (s *reporter) maxReports() int {
 	if s.MaxReports > 0 {
 		return s.MaxReports
 	}
 	return DefaultMaxReports
 }
 
-// Races returns the race reports (finishing the analysis).
-func (s *Sanitizer) Races() []Report {
+// Truncated reports how many reports were dropped past MaxReports.
+func (s *reporter) Truncated() int64 { return s.truncated }
+
+// splitKind filters a finished report list by race/deadlock.
+func splitKind(reports []Report, deadlocks bool) []Report {
 	var out []Report
-	for _, r := range s.Reports() {
-		if r.Kind != KindDeadlock {
+	for _, r := range reports {
+		if (r.Kind == KindDeadlock) == deadlocks {
 			out = append(out, r)
 		}
 	}
 	return out
 }
 
+// Races returns the race reports (finishing the analysis).
+func (s *Sanitizer) Races() []Report { return splitKind(s.Reports(), false) }
+
 // Deadlocks returns the deadlock reports (finishing the analysis).
-func (s *Sanitizer) Deadlocks() []Report {
-	var out []Report
-	for _, r := range s.Reports() {
-		if r.Kind == KindDeadlock {
-			out = append(out, r)
-		}
-	}
-	return out
-}
+func (s *Sanitizer) Deadlocks() []Report { return splitKind(s.Reports(), true) }
+
+// Races returns the race reports (finishing the analysis).
+func (s *Reference) Races() []Report { return splitKind(s.Reports(), false) }
+
+// Deadlocks returns the deadlock reports (finishing the analysis).
+func (s *Reference) Deadlocks() []Report { return splitKind(s.Reports(), true) }
 
 // Verdict summarizes a report set as a compact cell for tables:
 // "none", "race(counter)", "deadlock(la,lb)", with "[+N]" appended when
@@ -238,24 +282,4 @@ func Verdict(reports []Report) string {
 		fmt.Fprintf(&b, "[+%d]", len(reports)-1)
 	}
 	return b.String()
-}
-
-// RecordMetrics adds this run's sanitizer counters to reg, for the
-// -metrics exposition and the experiment registry.
-func (s *Sanitizer) RecordMetrics(reg *obs.Registry) {
-	s.Finish()
-	var races, deadlocks int64
-	for _, r := range s.reports {
-		if r.Kind == KindDeadlock {
-			deadlocks++
-		} else {
-			races++
-		}
-	}
-	reg.Counter("sanitizer_runs_total").Inc()
-	reg.Counter("sanitizer_reports_total").Add(races + deadlocks + s.truncated)
-	reg.Counter("sanitizer_races_total").Add(races)
-	reg.Counter("sanitizer_deadlocks_total").Add(deadlocks)
-	reg.Counter("sanitizer_accesses_total").Add(s.accesses)
-	reg.Counter("sanitizer_sync_ops_total").Add(s.syncOps)
 }
